@@ -1,0 +1,77 @@
+// E15/E16 / Section 5 Figures 4 and 5: autonomic scaling against a diurnal
+// trace (synthetic stand-in for the paper's private e-learning trace,
+// scaled 40x to a ~300 q/s peak).
+//
+// Paper shape: the number of active nodes tracks the request curve
+// (Fig. 4); the autonomic system's average response time is only slightly
+// above the static-maximum cluster, never exceeding ~50 ms and ~10 ms on
+// average (Fig. 5).
+#include <cstdio>
+
+#include "alloc/greedy.h"
+#include "autonomic/scaler.h"
+#include "bench_util.h"
+#include "workload/classifier.h"
+
+namespace qcap::bench {
+namespace {
+
+void Run() {
+  const engine::Catalog catalog = workloads::TraceCatalog();
+  const QueryJournal journal = workloads::TraceJournal(40000, 17);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  Classification cls = ValueOrDie(classifier.Classify(journal), "classify");
+
+  GreedyAllocator greedy;
+  AutonomicConfig config;
+  config.slice_seconds = 8.0;
+  config.max_nodes = 6;
+  // Our simulated backends are faster than the paper's 2009-era nodes, so
+  // the trace is scaled harder (x150 instead of x40) to make the peak
+  // exceed a single backend; thresholds sit just above the uncongested
+  // response time so the loop reacts before queues blow up.
+  config.trace_multiplier = 150.0;
+  config.scale_up_response_ms = 14.0;
+  config.scale_down_response_ms = 9.5;
+  config.sim.cost_params.memory_bytes = 8.0 * 1024 * 1024 * 1024;
+  config.sim.cost_params.io_fraction = 0.4;
+  config.sim.servers_per_backend = 4;
+  AutonomicScaler scaler(cls, &greedy, config);
+  const auto day = workloads::SampleDay(17);
+
+  AutonomicResult autonomic = ValueOrDie(scaler.Replay(day), "autonomic");
+  AutonomicResult fixed =
+      ValueOrDie(scaler.Replay(day, config.max_nodes), "fixed");
+
+  PrintHeader("Section 5 Figures 4+5: diurnal trace, hourly samples",
+              {"time", "req/10min", "nodes", "resp(ms)", "static(ms)"}, 12);
+  for (size_t i = 0; i < autonomic.steps.size(); i += 6) {  // Hourly.
+    const auto& step = autonomic.steps[i];
+    const int hour = static_cast<int>(step.tod_seconds / 3600.0);
+    PrintRow({std::to_string(hour) + ":00",
+              Fmt(day[i].requests_per_10min, 0), std::to_string(step.nodes),
+              Fmt(step.avg_response_ms, 1),
+              Fmt(fixed.steps[i].avg_response_ms, 1)},
+             12);
+  }
+  std::printf(
+      "\noverall: autonomic avg response %.1f ms (max %.1f ms) vs static-%zu "
+      "cluster %.1f ms; node-hours %.1f vs %.1f (%.0f%% saved)\n",
+      autonomic.overall_avg_response_ms, autonomic.overall_max_response_ms,
+      config.max_nodes, fixed.overall_avg_response_ms,
+      autonomic.node_seconds / 3600.0, fixed.node_seconds / 3600.0,
+      100.0 * (1.0 - autonomic.node_seconds / fixed.node_seconds));
+  std::printf(
+      "paper shape: nodes track the request curve; avg response ~10 ms, "
+      "never above ~50 ms; throughput never below the static maximum "
+      "cluster.\n");
+}
+
+}  // namespace
+}  // namespace qcap::bench
+
+int main() {
+  std::printf("E15/E16: autonomic scaling on the diurnal trace\n");
+  qcap::bench::Run();
+  return 0;
+}

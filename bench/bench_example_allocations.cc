@@ -1,0 +1,116 @@
+// E1/E2: the paper's worked examples.
+//
+// Reproduces the Section 3 read-only example (Figure 2: 1/2/4 backends,
+// including the two load-distribution tables) and the Appendix A
+// heterogeneous update-aware example (final allocation and load matrices).
+#include <cstdio>
+
+#include "alloc/greedy.h"
+#include "bench_util.h"
+
+namespace qcap::bench {
+namespace {
+
+Classification Figure2() {
+  Classification cls;
+  CheckOk(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).status(), "A");
+  CheckOk(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).status(), "B");
+  CheckOk(cls.catalog.Add("C", "C", FragmentKind::kTable, 1.0).status(), "C");
+  cls.reads = {
+      QueryClass{{0}, 0.30, 1.0, false, "C1", {}},
+      QueryClass{{1}, 0.25, 1.0, false, "C2", {}},
+      QueryClass{{2}, 0.25, 1.0, false, "C3", {}},
+      QueryClass{{0, 1}, 0.20, 1.0, false, "C4", {}},
+  };
+  return cls;
+}
+
+Classification AppendixA() {
+  Classification cls;
+  CheckOk(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).status(), "A");
+  CheckOk(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).status(), "B");
+  CheckOk(cls.catalog.Add("C", "C", FragmentKind::kTable, 1.0).status(), "C");
+  cls.reads = {
+      QueryClass{{0}, 0.24, 1.0, false, "Q1", {}},
+      QueryClass{{1}, 0.20, 1.0, false, "Q2", {}},
+      QueryClass{{2}, 0.20, 1.0, false, "Q3", {}},
+      QueryClass{{0, 1}, 0.16, 1.0, false, "Q4", {}},
+  };
+  cls.updates = {
+      QueryClass{{0}, 0.04, 1.0, true, "U1", {}},
+      QueryClass{{1}, 0.10, 1.0, true, "U2", {}},
+      QueryClass{{2}, 0.06, 1.0, true, "U3", {}},
+  };
+  return cls;
+}
+
+void PrintLoadMatrix(const Classification& cls, const Allocation& a) {
+  std::vector<std::string> header = {"backend"};
+  for (const auto& r : cls.reads) header.push_back(r.label);
+  for (const auto& u : cls.updates) header.push_back(u.label);
+  header.push_back("overall");
+  PrintRow(header, 9);
+  for (size_t b = 0; b < a.num_backends(); ++b) {
+    std::vector<std::string> row = {"B" + std::to_string(b + 1)};
+    for (size_t r = 0; r < cls.reads.size(); ++r) {
+      row.push_back(FormatPercent(a.read_assign(b, r), 1));
+    }
+    for (size_t u = 0; u < cls.updates.size(); ++u) {
+      row.push_back(FormatPercent(a.update_assign(b, u), 1));
+    }
+    row.push_back(FormatPercent(a.AssignedLoad(b), 1));
+    PrintRow(row, 9);
+  }
+}
+
+void RunFigure2() {
+  const Classification cls = Figure2();
+  GreedyAllocator greedy;
+  for (size_t n : {1, 2, 4}) {
+    const auto backends = HomogeneousBackends(n);
+    const Allocation a =
+        ValueOrDie(greedy.Allocate(cls, backends), "figure-2 allocate");
+    CheckOk(ValidateAllocation(cls, a, backends), "figure-2 validate");
+    std::printf("\n--- Figure 2, %zu backend(s) ---\n", n);
+    PrintLoadMatrix(cls, a);
+    std::printf("speedup=%.2f (paper: %zu)   degree of replication=%.3f\n",
+                Speedup(a, backends), n, DegreeOfReplication(a, cls.catalog));
+  }
+  std::printf(
+      "\npaper check: 2 backends -> speedup 2 with only relation B "
+      "replicated (r=4/3); 4 backends -> speedup 4 replicating two tables "
+      "(r=5/3)\n");
+}
+
+void RunAppendixA() {
+  const Classification cls = AppendixA();
+  const auto backends =
+      ValueOrDie(HeterogeneousBackends({0.3, 0.3, 0.2, 0.2}), "backends");
+  GreedyAllocator greedy;
+  const Allocation a =
+      ValueOrDie(greedy.Allocate(cls, backends), "appendix-a allocate");
+  CheckOk(ValidateAllocation(cls, a, backends), "appendix-a validate");
+  std::printf("\n--- Appendix A, heterogeneous 30/30/20/20 ---\n");
+  PrintLoadMatrix(cls, a);
+  std::printf("allocation matrix (backend x {A,B,C}):\n");
+  for (size_t b = 0; b < 4; ++b) {
+    std::printf("  B%zu:", b + 1);
+    for (FragmentId f = 0; f < 3; ++f) {
+      std::printf(" %d", a.IsPlaced(b, f) ? 1 : 0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "scale=%.3f (paper: 1.24 -> loads 37.2/37.2/20.8/24.8), speedup=%.3f\n",
+      Scale(a, backends), Speedup(a, backends));
+}
+
+}  // namespace
+}  // namespace qcap::bench
+
+int main() {
+  std::printf("E1/E2: worked examples (Section 3 Figure 2, Appendix A)\n");
+  qcap::bench::RunFigure2();
+  qcap::bench::RunAppendixA();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E24 (extension): heterogeneity-awareness. The paper's model and
+// algorithm explicitly support backends with different processing powers
+// (Eq. 7, 15, 19; the Appendix A example runs on a 30/30/20/20 cluster).
+// This bench quantifies what ignoring heterogeneity costs: the same
+// workload is allocated (a) with the true relative performances and
+// (b) pretending the cluster is homogeneous, then both layouts are
+// simulated on the *actual* heterogeneous hardware.
+#include <cstdio>
+
+#include "alloc/greedy.h"
+#include "alloc/memetic.h"
+#include "bench_util.h"
+#include "workloads/tpcapp.h"
+#include "workloads/tpch.h"
+
+namespace qcap::bench {
+namespace {
+
+/// Simulates \p alloc on the true heterogeneous \p backends.
+Result<double> SimulateOnHardware(const Classification& cls,
+                                  const Allocation& alloc,
+                                  const std::vector<BackendSpec>& backends,
+                                  const engine::CostModelParams& params,
+                                  uint64_t requests) {
+  double mean = 0.0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SimulationConfig config;
+    config.cost_params = params;
+    config.seed = seed;
+    QCAP_ASSIGN_OR_RETURN(
+        ClusterSimulator sim,
+        ClusterSimulator::Create(cls, alloc, backends, config));
+    QCAP_ASSIGN_OR_RETURN(SimStats stats,
+                          sim.RunClosed(requests, 4 * backends.size()));
+    mean += stats.throughput;
+  }
+  return mean / 3.0;
+}
+
+void Run(const char* title, const engine::Catalog& catalog,
+         const QueryJournal& journal, Granularity granularity,
+         const engine::CostModelParams& params, uint64_t requests) {
+  // A 6-node cluster: two fast nodes, four slow ones (2:1).
+  const auto hardware =
+      ValueOrDie(HeterogeneousBackends({2.0, 2.0, 1.0, 1.0, 1.0, 1.0}),
+                 "hardware");
+  const auto assumed_homogeneous = HomogeneousBackends(6);
+
+  Classifier classifier(catalog, {granularity, 4, true});
+  Classification cls = ValueOrDie(classifier.Classify(journal), "classify");
+  MemeticOptions mopts;
+  mopts.iterations = 30;
+  mopts.population_size = 9;
+  MemeticAllocator memetic(mopts);
+
+  // Aware: allocated against the true shares.
+  Allocation aware = ValueOrDie(memetic.Allocate(cls, hardware), "aware");
+  // Oblivious: allocated as if homogeneous, then deployed on the real
+  // hardware (same placement, same assignments).
+  Allocation oblivious =
+      ValueOrDie(memetic.Allocate(cls, assumed_homogeneous), "oblivious");
+
+  const double t_aware = ValueOrDie(
+      SimulateOnHardware(cls, aware, hardware, params, requests), "sim-a");
+  const double t_oblivious = ValueOrDie(
+      SimulateOnHardware(cls, oblivious, hardware, params, requests), "sim-o");
+
+  PrintHeader(title, {"allocation", "model scale", "sim q/s"}, 16);
+  PrintRow({"aware", Fmt(Scale(aware, hardware), 3), Fmt(t_aware, 0)}, 16);
+  PrintRow({"oblivious", Fmt(Scale(oblivious, hardware), 3),
+            Fmt(t_oblivious, 0)},
+           16);
+  std::printf("heterogeneity-aware advantage: %.2fx\n", t_aware / t_oblivious);
+}
+
+}  // namespace
+}  // namespace qcap::bench
+
+int main() {
+  std::printf(
+      "E24: heterogeneity-aware allocation on a 2/2/1/1/1/1 cluster\n");
+  qcap::bench::Run("TPC-H column-based", qcap::workloads::TpchCatalog(1.0),
+                   qcap::workloads::TpchJournal(10000),
+                   qcap::Granularity::kColumn, qcap::bench::TpchCostParams(),
+                   1500);
+  qcap::bench::Run("TPC-App table-based",
+                   qcap::workloads::TpcAppCatalog(300.0),
+                   qcap::workloads::TpcAppJournal(200000),
+                   qcap::Granularity::kTable, qcap::bench::TpcAppCostParams(),
+                   20000);
+  std::printf(
+      "\nshape: the aware allocation gives the fast nodes proportionally "
+      "more query weight (Eq. 7/15), which the model scale shows directly "
+      "(aware < oblivious in both workloads). In simulation the read-only "
+      "workload keeps the full advantage; on the update-heavy workload the "
+      "runtime least-pending scheduler recovers much of the oblivious "
+      "layout's imbalance wherever replication leaves it dispatch freedom "
+      "-- update placement, which the scheduler cannot reroute, is where "
+      "awareness matters most.\n");
+  return 0;
+}

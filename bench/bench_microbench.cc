@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks of the library's hot paths:
+// classification, the allocators, the matching/LP solvers, and the cluster
+// simulator's event loop. Not a paper figure; used to track performance of
+// the implementation itself.
+#include <benchmark/benchmark.h>
+
+#include "alloc/greedy.h"
+#include "alloc/memetic.h"
+#include "cluster/simulator.h"
+#include "common/random.h"
+#include "model/metrics.h"
+#include "solver/hungarian.h"
+#include "solver/simplex.h"
+#include "workload/classifier.h"
+#include "workloads/tpcapp.h"
+#include "workloads/tpch.h"
+
+namespace qcap {
+namespace {
+
+void BM_ClassifyTpchColumn(benchmark::State& state) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  const QueryJournal journal = workloads::TpchJournal(10000);
+  Classifier classifier(catalog, {Granularity::kColumn, 4, true});
+  for (auto _ : state) {
+    auto cls = classifier.Classify(journal);
+    benchmark::DoNotOptimize(cls);
+  }
+}
+BENCHMARK(BM_ClassifyTpchColumn);
+
+void BM_GreedyTpchColumn(benchmark::State& state) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  const QueryJournal journal = workloads::TpchJournal(10000);
+  Classifier classifier(catalog, {Granularity::kColumn, 4, true});
+  Classification cls = classifier.Classify(journal).value();
+  const auto backends = HomogeneousBackends(state.range(0));
+  GreedyAllocator greedy;
+  for (auto _ : state) {
+    auto alloc = greedy.Allocate(cls, backends);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_GreedyTpchColumn)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_MemeticIterationTpcApp(benchmark::State& state) {
+  const engine::Catalog catalog = workloads::TpcAppCatalog(300.0);
+  const QueryJournal journal = workloads::TpcAppJournal(200000);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  Classification cls = classifier.Classify(journal).value();
+  const auto backends = HomogeneousBackends(10);
+  GreedyAllocator greedy;
+  Allocation seed = greedy.Allocate(cls, backends).value();
+  MemeticOptions opts;
+  opts.iterations = 1;
+  opts.population_size = 9;
+  for (auto _ : state) {
+    MemeticAllocator memetic(opts);
+    auto alloc = memetic.Improve(cls, backends, seed);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_MemeticIterationTpcApp);
+
+void BM_Hungarian(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.NextDouble() * 1000.0;
+  }
+  for (auto _ : state) {
+    auto result = SolveAssignment(cost);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  const size_t m = 8, n = 10;
+  Rng rng(11);
+  LinearProgram lp;
+  lp.num_vars = m * n;
+  lp.objective.resize(lp.num_vars);
+  for (double& c : lp.objective) c = 1.0 + rng.NextDouble() * 9.0;
+  std::vector<double> supply(m, 10.0), demand(n, 8.0);
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<double> row(lp.num_vars, 0.0);
+    for (size_t j = 0; j < n; ++j) row[i * n + j] = 1.0;
+    lp.AddConstraint(std::move(row), Relation::kEqual, supply[i]);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> col(lp.num_vars, 0.0);
+    for (size_t i = 0; i < m; ++i) col[i * n + j] = 1.0;
+    lp.AddConstraint(std::move(col), Relation::kEqual, demand[j]);
+  }
+  for (auto _ : state) {
+    auto sol = SolveLp(lp);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SimplexTransportation);
+
+void BM_SimulatorClosedLoop(benchmark::State& state) {
+  const engine::Catalog catalog = workloads::TpcAppCatalog(300.0);
+  const QueryJournal journal = workloads::TpcAppJournal(200000);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  Classification cls = classifier.Classify(journal).value();
+  const auto backends = HomogeneousBackends(10);
+  GreedyAllocator greedy;
+  Allocation alloc = greedy.Allocate(cls, backends).value();
+  SimulationConfig config;
+  uint64_t requests = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    config.seed++;
+    auto sim = ClusterSimulator::Create(cls, alloc, backends, config);
+    auto stats = sim->RunClosed(requests, 40);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(requests));
+}
+BENCHMARK(BM_SimulatorClosedLoop)->Arg(10000)->Arg(50000);
+
+}  // namespace
+}  // namespace qcap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// E6 / Figure 4(d): duration of the physical allocation (fragmentation +
+// network transfer + bulk load) for full replication vs column-based
+// allocation, 1-7 backends.
+//
+// Paper shape: column-based is faster despite the fragmentation overhead,
+// because far less data is shipped and loaded; full replication grows with
+// the number of nodes only via the per-node constant (parallel loads) while
+// each node ingests the full database image.
+#include <cstdio>
+
+#include "alloc/full_replication.h"
+#include "alloc/greedy.h"
+#include "bench_util.h"
+#include "physical/physical_allocator.h"
+#include "workloads/tpch.h"
+
+namespace qcap::bench {
+namespace {
+
+void Run() {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  const QueryJournal journal = workloads::TpchJournal(10000);
+  FullReplicationAllocator full;
+  GreedyAllocator greedy;
+  PhysicalAllocator physical;
+
+  PrintHeader("Figure 4(d): allocation duration (minutes)",
+              {"backends", "full-repl", "column", "col-bytes-moved"}, 18);
+  for (size_t n = 1; n <= 7; ++n) {
+    Pipeline pf = ValueOrDie(
+        BuildPipeline(catalog, journal, Granularity::kNone, &full, n), "full");
+    Pipeline pc = ValueOrDie(
+        BuildPipeline(catalog, journal, Granularity::kColumn, &greedy, n),
+        "column");
+    // Full replication ships whole database images (no fragmentation
+    // stage); column-based prepares fragments but ships much less.
+    TransitionPlan full_plan = ValueOrDie(
+        physical.InitialLoad(pf.alloc, pf.cls.catalog, false), "full plan");
+    TransitionPlan col_plan = ValueOrDie(
+        physical.InitialLoad(pc.alloc, pc.cls.catalog, true), "col plan");
+    PrintRow({std::to_string(n), Fmt(full_plan.duration_seconds / 60.0),
+              Fmt(col_plan.duration_seconds / 60.0),
+              FormatBytes(col_plan.total_bytes)},
+             18);
+  }
+  std::printf(
+      "\npaper shape: reduced replication outweighs the fragmentation "
+      "overhead -- the column-based allocation completes faster than full "
+      "replication at every cluster size.\n");
+}
+
+}  // namespace
+}  // namespace qcap::bench
+
+int main() {
+  std::printf("E6: TPC-H allocation duration (Figure 4d)\n");
+  qcap::bench::Run();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// qcap_tool: run the allocation pipeline from files, no C++ required.
+//
+//   qcap_tool <schema-file> <journal-file> [options]
+//     --backends N         cluster size (default 4)
+//     --granularity G      table | column | hybrid | horizontal (default table)
+//     --partitions P       horizontal partition count (default 4)
+//     --allocator A        greedy | memetic | full | ksafe1 (default memetic)
+//     --json               emit JSON instead of the text report
+//
+// Schema files use the engine/schema_io.h format; journal files use the
+// workload/journal_io.h format (SaveJournal). Example inputs can be
+// produced with examples/sql_workload.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "qcap.h"
+
+using namespace qcap;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "qcap_tool: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: qcap_tool <schema-file> <journal-file> "
+                 "[--backends N] [--granularity table|column|hybrid|"
+                 "horizontal] [--partitions P] "
+                 "[--allocator greedy|memetic|full|ksafe1] [--json]\n");
+    return 2;
+  }
+  const std::string schema_path = argv[1];
+  const std::string journal_path = argv[2];
+  size_t backends_n = 4;
+  ClassifierOptions copts;
+  std::string allocator_name = "memetic";
+  bool emit_json = false;
+
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--backends") {
+      const char* v = next();
+      if (!v || std::atoi(v) <= 0) return Fail("--backends needs a count");
+      backends_n = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--granularity") {
+      const char* v = next();
+      if (!v) return Fail("--granularity needs a value");
+      if (std::strcmp(v, "table") == 0) {
+        copts.granularity = Granularity::kTable;
+      } else if (std::strcmp(v, "column") == 0) {
+        copts.granularity = Granularity::kColumn;
+      } else if (std::strcmp(v, "hybrid") == 0) {
+        copts.granularity = Granularity::kHybrid;
+      } else if (std::strcmp(v, "horizontal") == 0) {
+        copts.granularity = Granularity::kHorizontal;
+      } else {
+        return Fail(std::string("unknown granularity '") + v + "'");
+      }
+    } else if (arg == "--partitions") {
+      const char* v = next();
+      if (!v || std::atoi(v) <= 0) return Fail("--partitions needs a count");
+      copts.horizontal_partitions = std::atoi(v);
+    } else if (arg == "--allocator") {
+      const char* v = next();
+      if (!v) return Fail("--allocator needs a value");
+      allocator_name = v;
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else {
+      return Fail("unknown option '" + arg + "'");
+    }
+  }
+
+  auto catalog = engine::LoadCatalog(schema_path);
+  if (!catalog.ok()) return Fail(catalog.status().ToString());
+  auto journal = LoadJournal(journal_path);
+  if (!journal.ok()) return Fail(journal.status().ToString());
+
+  std::unique_ptr<Allocator> allocator;
+  if (allocator_name == "greedy") {
+    allocator = std::make_unique<GreedyAllocator>();
+  } else if (allocator_name == "memetic") {
+    allocator = std::make_unique<MemeticAllocator>();
+  } else if (allocator_name == "full") {
+    allocator = std::make_unique<FullReplicationAllocator>();
+  } else if (allocator_name == "ksafe1") {
+    allocator = std::make_unique<KSafeGreedyAllocator>(KSafetyOptions{1});
+  } else {
+    return Fail("unknown allocator '" + allocator_name + "'");
+  }
+
+  Classifier classifier(catalog.value(), copts);
+  auto cls = classifier.Classify(journal.value());
+  if (!cls.ok()) return Fail(cls.status().ToString());
+
+  const auto backends = HomogeneousBackends(backends_n);
+  auto alloc = allocator->Allocate(cls.value(), backends);
+  if (!alloc.ok()) return Fail(alloc.status().ToString());
+  if (Status valid = ValidateAllocation(cls.value(), alloc.value(), backends);
+      !valid.ok()) {
+    return Fail("allocator produced an invalid allocation: " +
+                valid.ToString());
+  }
+
+  if (emit_json) {
+    std::printf("{\"classification\":%s,\"allocation\":%s}\n",
+                ClassificationToJson(cls.value()).c_str(),
+                AllocationToJson(cls.value(), alloc.value(), backends).c_str());
+  } else {
+    std::printf("%s\n%s",
+                RenderClassificationReport(cls.value()).c_str(),
+                RenderAllocationReport(cls.value(), alloc.value(), backends)
+                    .c_str());
+  }
+  return 0;
+}

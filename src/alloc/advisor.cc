@@ -1,0 +1,84 @@
+#include "alloc/advisor.h"
+
+#include "common/logging.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+
+namespace qcap {
+
+Result<AdvisorChoice> PartitioningAdvisor::Advise(
+    const QueryJournal& journal,
+    const std::vector<BackendSpec>& backends) const {
+  if (allocator_ == nullptr) {
+    return Status::InvalidArgument("allocator must not be null");
+  }
+  if (options_.candidates.empty()) {
+    return Status::InvalidArgument("no candidate granularities");
+  }
+
+  AdvisorChoice choice;
+  Status last_error = Status::OK();
+  for (Granularity granularity : options_.candidates) {
+    ClassifierOptions copts;
+    copts.granularity = granularity;
+    copts.horizontal_partitions = options_.horizontal_partitions;
+    copts.include_candidate_keys = options_.include_candidate_keys;
+    copts.hybrid_column_threshold_bytes =
+        options_.hybrid_column_threshold_bytes;
+    Classifier classifier(catalog_, copts);
+
+    auto cls = classifier.Classify(journal);
+    if (!cls.ok()) {
+      last_error = cls.status();
+      QCAP_LOG(Debug) << "advisor: classification failed: "
+                      << last_error.ToString();
+      continue;
+    }
+    auto alloc = allocator_->Allocate(cls.value(), backends);
+    if (!alloc.ok()) {
+      last_error = alloc.status();
+      continue;
+    }
+    if (Status valid = ValidateAllocation(cls.value(), alloc.value(), backends);
+        !valid.ok()) {
+      last_error = valid;
+      continue;
+    }
+
+    AdvisorCandidate candidate;
+    candidate.granularity = granularity;
+    candidate.model_speedup = Speedup(alloc.value(), backends);
+    candidate.degree_of_replication =
+        DegreeOfReplication(alloc.value(), cls->catalog);
+    candidate.classification = std::move(cls).value();
+    candidate.allocation = std::move(alloc).value();
+    choice.evaluated.push_back(std::move(candidate));
+  }
+  if (choice.evaluated.empty()) {
+    return Status::Internal("no candidate granularity produced a valid "
+                            "allocation; last error: " +
+                            last_error.ToString());
+  }
+
+  // Objective order (Section 3): throughput first, storage second among
+  // near-ties.
+  double best_speedup = 0.0;
+  for (const auto& candidate : choice.evaluated) {
+    best_speedup = std::max(best_speedup, candidate.model_speedup);
+  }
+  const AdvisorCandidate* winner = nullptr;
+  for (const auto& candidate : choice.evaluated) {
+    if (candidate.model_speedup <
+        best_speedup * (1.0 - options_.speedup_tolerance)) {
+      continue;
+    }
+    if (winner == nullptr ||
+        candidate.degree_of_replication < winner->degree_of_replication) {
+      winner = &candidate;
+    }
+  }
+  choice.best = *winner;
+  return choice;
+}
+
+}  // namespace qcap

@@ -1,0 +1,69 @@
+// Partitioning advisor: picks the classification granularity for a
+// workload by actually running the allocator at each candidate granularity
+// and comparing the analytical outcomes.
+//
+// Section 3.1 leaves the granularity choice to the operator ("the
+// classification determines the partitioning"); the advisor automates it
+// with the paper's own objective order — maximize throughput first, then
+// minimize storage.
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "engine/catalog.h"
+#include "workload/classifier.h"
+
+namespace qcap {
+
+/// Options for the advisor.
+struct AdvisorOptions {
+  /// Granularities to evaluate, in preference order for exact ties.
+  std::vector<Granularity> candidates = {Granularity::kTable,
+                                         Granularity::kColumn,
+                                         Granularity::kHybrid};
+  /// Classifier settings shared by all candidates.
+  int horizontal_partitions = 4;
+  bool include_candidate_keys = true;
+  double hybrid_column_threshold_bytes = 64.0 * 1024 * 1024;
+  /// Candidates within this relative speedup of the best are considered
+  /// throughput ties; the one with the least storage wins among them.
+  double speedup_tolerance = 0.02;
+};
+
+/// One evaluated candidate.
+struct AdvisorCandidate {
+  Granularity granularity = Granularity::kTable;
+  Classification classification;
+  Allocation allocation;
+  double model_speedup = 0.0;
+  double degree_of_replication = 0.0;
+};
+
+/// Advisor outcome: the chosen candidate plus everything evaluated.
+struct AdvisorChoice {
+  AdvisorCandidate best;
+  std::vector<AdvisorCandidate> evaluated;
+};
+
+/// \brief Evaluates candidate granularities and picks the winner.
+class PartitioningAdvisor {
+ public:
+  /// \p allocator computes the allocation for every candidate.
+  PartitioningAdvisor(const engine::Catalog& catalog, Allocator* allocator,
+                      AdvisorOptions options = {})
+      : catalog_(catalog), allocator_(allocator), options_(std::move(options)) {}
+
+  /// Classifies \p journal at each candidate granularity, allocates onto
+  /// \p backends, validates, and returns the best valid candidate.
+  /// Fails if no candidate produces a valid allocation.
+  Result<AdvisorChoice> Advise(const QueryJournal& journal,
+                               const std::vector<BackendSpec>& backends) const;
+
+ private:
+  const engine::Catalog& catalog_;
+  Allocator* allocator_;
+  AdvisorOptions options_;
+};
+
+}  // namespace qcap

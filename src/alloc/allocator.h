@@ -1,0 +1,54 @@
+// Allocator interface and helpers shared by all allocation strategies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/allocation.h"
+#include "model/backend.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// \brief Strategy interface: computes a partial replication of the
+/// classified workload onto the given backends.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Computes an allocation. Implementations must return allocations that
+  /// pass ValidateAllocation().
+  virtual Result<Allocation> Allocate(
+      const Classification& cls,
+      const std::vector<BackendSpec>& backends) = 0;
+
+  /// Human-readable strategy name, e.g. "greedy".
+  virtual std::string name() const = 0;
+};
+
+namespace alloc_internal {
+
+/// Places every update class whose fragments overlap backend \p b's current
+/// fragment set fully onto \p b (fragments + pinned assignment, Eq. 10),
+/// iterating to a fixpoint since adding an update's fragments can create
+/// new overlaps. Returns the total update weight newly added to \p b.
+double CloseUpdatesOnBackend(const Classification& cls, size_t b,
+                             Allocation* alloc);
+
+/// Runs CloseUpdatesOnBackend for every backend.
+void CloseUpdatesEverywhere(const Classification& cls, Allocation* alloc);
+
+/// Ensures data completeness: every fragment not yet stored anywhere is
+/// placed on the backend currently storing the fewest bytes that would not
+/// pick up new update obligations by storing it (any backend if none
+/// qualifies, followed by an update-closure pass).
+void PlaceOrphanFragments(const Classification& cls, Allocation* alloc);
+
+/// Backend index with minimal stored bytes.
+size_t LeastLoadedBackendByBytes(const Classification& cls,
+                                 const Allocation& alloc);
+
+}  // namespace alloc_internal
+}  // namespace qcap

@@ -1,0 +1,67 @@
+#include "alloc/full_replication.h"
+
+#include <algorithm>
+
+namespace qcap {
+
+Result<Allocation> FullReplicationAllocator::Allocate(
+    const Classification& cls, const std::vector<BackendSpec>& backends) {
+  QCAP_RETURN_NOT_OK(ValidateBackends(backends));
+  QCAP_RETURN_NOT_OK(cls.Validate());
+
+  const size_t n = backends.size();
+  Allocation alloc(n, cls.catalog.size(), cls.reads.size(), cls.updates.size());
+
+  // Everything everywhere.
+  for (size_t b = 0; b < n; ++b) {
+    for (FragmentId f = 0; f < cls.catalog.size(); ++f) alloc.Place(b, f);
+    for (size_t u = 0; u < cls.updates.size(); ++u) {
+      alloc.set_update_assign(b, u, cls.updates[u].weight);
+    }
+  }
+
+  // Distribute read weight to equalize scaled load: each backend carries the
+  // full update weight (serial part), so its read budget is
+  // s * load(b) - update_weight for the smallest feasible s (waterfill).
+  double update_weight = 0.0;
+  for (const auto& u : cls.updates) update_weight += u.weight;
+  double read_weight = 0.0;
+  for (const auto& r : cls.reads) read_weight += r.weight;
+
+  std::vector<double> budget(n, 0.0);
+  if (read_weight > 0.0) {
+    // With every load(b) > 0 the equalizing s always yields non-negative
+    // budgets (update load is identical on all backends), so no clamping
+    // loop is needed: s = read_weight + n * update_weight over total load 1.
+    const double s = read_weight + static_cast<double>(n) * update_weight;
+    for (size_t b = 0; b < n; ++b) {
+      budget[b] = std::max(0.0, s * backends[b].relative_load - update_weight);
+    }
+    // Normalize tiny floating-point drift so budgets sum to read_weight.
+    double total_budget = 0.0;
+    for (double v : budget) total_budget += v;
+    if (total_budget > 0.0) {
+      for (double& v : budget) v *= read_weight / total_budget;
+    }
+  }
+
+  // Every class is spread over every backend in proportion to its read
+  // budget: full replication is workload-unaware, so each backend serves
+  // each class (this is also what the runtime least-pending-first scheduler
+  // does when every backend is capable).
+  double total_budget = 0.0;
+  for (double v : budget) total_budget += v;
+  for (size_t r = 0; r < cls.reads.size(); ++r) {
+    for (size_t b = 0; b < n; ++b) {
+      const double share =
+          total_budget > 0.0
+              ? cls.reads[r].weight * budget[b] / total_budget
+              : cls.reads[r].weight / static_cast<double>(n);
+      alloc.set_read_assign(b, r, share);
+    }
+  }
+
+  return alloc;
+}
+
+}  // namespace qcap

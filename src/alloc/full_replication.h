@@ -1,0 +1,18 @@
+// Full replication: every backend stores the whole database, every update
+// runs everywhere (ROWA), and read load is spread to equalize the scaled
+// load across (possibly heterogeneous) backends.
+#pragma once
+
+#include "alloc/allocator.h"
+
+namespace qcap {
+
+/// \brief The classic fully replicated cluster (Section 2 baseline).
+class FullReplicationAllocator : public Allocator {
+ public:
+  Result<Allocation> Allocate(const Classification& cls,
+                              const std::vector<BackendSpec>& backends) override;
+  std::string name() const override { return "full-replication"; }
+};
+
+}  // namespace qcap

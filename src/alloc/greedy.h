@@ -1,0 +1,36 @@
+// Greedy first-fit allocation heuristic (Algorithm 1 of the paper).
+//
+// Query classes are allocated heaviest-first (weight including co-allocated
+// updates, times data size). Each class goes to the backend with the least
+// "difference" (new bytes it would have to store), updates are pinned per
+// ROWA, and backend capacities are scaled up only when every backend is
+// already at its scaled limit.
+#pragma once
+
+#include "alloc/allocator.h"
+
+namespace qcap {
+
+/// Tuning knobs for the greedy heuristic.
+struct GreedyOptions {
+  /// Numerical slack when comparing loads.
+  double epsilon = 1e-12;
+  /// Hard cap on main-loop iterations (guards against pathological inputs);
+  /// 0 derives a generous bound from the problem size.
+  size_t max_iterations = 0;
+};
+
+/// \brief Algorithm 1: polynomial-time first-fit allocation.
+class GreedyAllocator : public Allocator {
+ public:
+  explicit GreedyAllocator(GreedyOptions options = {}) : options_(options) {}
+
+  Result<Allocation> Allocate(const Classification& cls,
+                              const std::vector<BackendSpec>& backends) override;
+  std::string name() const override { return "greedy"; }
+
+ private:
+  GreedyOptions options_;
+};
+
+}  // namespace qcap

@@ -1,0 +1,36 @@
+// K-safe greedy allocation (Appendix C, Algorithm 4).
+//
+// Ensures every query class is executable on at least k+1 backends and
+// every fragment is stored at least k+1 times, so the cluster survives the
+// loss of any k backends with no data loss and no reallocation.
+#pragma once
+
+#include "alloc/allocator.h"
+
+namespace qcap {
+
+/// Options for the k-safe allocator.
+struct KSafetyOptions {
+  /// Number of tolerated backend failures; k+1 replicas of every class.
+  int k = 1;
+  double epsilon = 1e-12;
+  size_t max_iterations = 0;  ///< 0 = derive from problem size.
+};
+
+/// \brief Algorithm 4: greedy allocation with k+1-fold class replication.
+class KSafeGreedyAllocator : public Allocator {
+ public:
+  explicit KSafeGreedyAllocator(KSafetyOptions options = {})
+      : options_(options) {}
+
+  Result<Allocation> Allocate(const Classification& cls,
+                              const std::vector<BackendSpec>& backends) override;
+  std::string name() const override {
+    return "greedy-k" + std::to_string(options_.k);
+  }
+
+ private:
+  KSafetyOptions options_;
+};
+
+}  // namespace qcap

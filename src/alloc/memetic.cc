@@ -1,0 +1,295 @@
+#include "alloc/memetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "alloc/greedy.h"
+#include "common/random.h"
+#include "model/metrics.h"
+
+namespace qcap {
+
+namespace {
+
+/// Solution cost: lexicographic (scale, stored bytes). Lower is better.
+struct Cost {
+  double scale = 0.0;
+  double bytes = 0.0;
+
+  bool Better(const Cost& other) const {
+    if (scale < other.scale - 1e-9) return true;
+    if (scale > other.scale + 1e-9) return false;
+    return bytes < other.bytes - 1e-6;
+  }
+};
+
+class Evolver {
+ public:
+  Evolver(const Classification& cls, const std::vector<BackendSpec>& backends,
+          const MemeticOptions& opts)
+      : cls_(cls), backends_(backends), opts_(opts), rng_(opts.seed) {}
+
+  Cost Evaluate(const Allocation& a) const {
+    double stored = 0.0;
+    for (size_t b = 0; b < a.num_backends(); ++b) {
+      stored += a.BackendBytes(b, cls_.catalog);
+    }
+    return Cost{Scale(a, backends_), stored};
+  }
+
+  /// Drops every fragment a backend no longer needs for its assigned read
+  /// classes (and the update classes forced by what remains), then restores
+  /// global data completeness.
+  void GarbageCollect(Allocation* a) const {
+    for (size_t b = 0; b < a->num_backends(); ++b) {
+      FragmentSet needed;
+      for (size_t r = 0; r < cls_.reads.size(); ++r) {
+        if (a->read_assign(b, r) > 1e-15) {
+          needed = SetUnion(needed, cls_.reads[r].fragments);
+        }
+      }
+      // Fixpoint: update classes overlapping the needed set stay, and keep
+      // their full fragment sets.
+      bool changed = true;
+      std::vector<bool> keep_update(cls_.updates.size(), false);
+      while (changed) {
+        changed = false;
+        for (size_t u = 0; u < cls_.updates.size(); ++u) {
+          if (keep_update[u]) continue;
+          if (Intersects(cls_.updates[u].fragments, needed)) {
+            keep_update[u] = true;
+            needed = SetUnion(needed, cls_.updates[u].fragments);
+            changed = true;
+          }
+        }
+      }
+      // Rebuild the backend's placement and update pinning.
+      for (FragmentId f = 0; f < a->num_fragments(); ++f) {
+        if (a->IsPlaced(b, f) && !Contains(needed, f)) {
+          // Allocation has no "unplace"; rebuild below instead.
+        }
+      }
+      // Rebuild by constructing a fresh row.
+      RebuildBackendRow(a, b, needed, keep_update);
+    }
+    alloc_internal::PlaceOrphanFragments(cls_, a);
+  }
+
+  Allocation Mutate(const Allocation& parent) {
+    Allocation child = parent;
+    // Move one random (class, backend) read share to another backend.
+    std::vector<std::pair<size_t, size_t>> positive;  // (read class, backend)
+    for (size_t r = 0; r < cls_.reads.size(); ++r) {
+      for (size_t b = 0; b < child.num_backends(); ++b) {
+        if (child.read_assign(b, r) > 1e-12) positive.emplace_back(r, b);
+      }
+    }
+    if (positive.empty() || child.num_backends() < 2) return child;
+    const auto [r, b1] = positive[rng_.NextBounded(positive.size())];
+    size_t b2 = static_cast<size_t>(rng_.NextBounded(child.num_backends() - 1));
+    if (b2 >= b1) ++b2;
+    const double have = child.read_assign(b1, r);
+    const double share =
+        rng_.NextBernoulli(0.5) ? have : have * rng_.NextDouble(0.25, 1.0);
+    child.add_read_assign(b1, r, -share);
+    child.add_read_assign(b2, r, share);
+    child.PlaceSet(b2, cls_.reads[r].fragments);
+    alloc_internal::CloseUpdatesOnBackend(cls_, b2, &child);
+    GarbageCollect(&child);
+    return child;
+  }
+
+  /// Local search strategy 1 (Eq. 21/22): consolidate pairs of read classes
+  /// that are split across the same two backends but drag different update
+  /// sets, freeing update replicas.
+  bool ImproveSharedPairs(Allocation* a) const {
+    const Cost before = Evaluate(*a);
+    for (size_t b1 = 0; b1 < a->num_backends(); ++b1) {
+      for (size_t b2 = b1 + 1; b2 < a->num_backends(); ++b2) {
+        std::vector<size_t> shared;
+        for (size_t r = 0; r < cls_.reads.size(); ++r) {
+          if (a->read_assign(b1, r) > 1e-12 && a->read_assign(b2, r) > 1e-12) {
+            shared.push_back(r);
+          }
+        }
+        if (shared.size() < 2) continue;
+        for (size_t i = 0; i < shared.size(); ++i) {
+          for (size_t j = 0; j < shared.size(); ++j) {
+            if (i == j) continue;
+            const size_t r1 = shared[i], r2 = shared[j];
+            if (cls_.OverlappingUpdates(cls_.reads[r1]) ==
+                cls_.OverlappingUpdates(cls_.reads[r2])) {
+              continue;
+            }
+            const double delta =
+                std::min(a->read_assign(b2, r1), a->read_assign(b1, r2));
+            if (delta <= 1e-12) continue;
+            Allocation trial = *a;
+            trial.add_read_assign(b2, r1, -delta);
+            trial.add_read_assign(b1, r1, delta);
+            trial.add_read_assign(b1, r2, -delta);
+            trial.add_read_assign(b2, r2, delta);
+            GarbageCollect(&trial);
+            if (Evaluate(trial).Better(before)) {
+              *a = std::move(trial);
+              return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Local search strategy 2 (Eq. 23-26): evacuate the read load that pins a
+  /// replicated (heavy) update class on one backend over to another backend
+  /// already carrying the class, trading lighter replication for it.
+  bool ImproveUpdateReplicas(Allocation* a) const {
+    const Cost before = Evaluate(*a);
+    for (size_t u = 0; u < cls_.updates.size(); ++u) {
+      std::vector<size_t> holders;
+      for (size_t b = 0; b < a->num_backends(); ++b) {
+        if (a->update_assign(b, u) > 1e-12) holders.push_back(b);
+      }
+      if (holders.size() < 2) continue;
+      for (size_t b1 : holders) {
+        for (size_t b2 : holders) {
+          if (b1 == b2) continue;
+          Allocation trial = *a;
+          bool moved = false;
+          for (size_t r = 0; r < cls_.reads.size(); ++r) {
+            if (trial.read_assign(b1, r) <= 1e-12) continue;
+            if (!Intersects(cls_.reads[r].fragments, cls_.updates[u].fragments)) {
+              continue;
+            }
+            const double w = trial.read_assign(b1, r);
+            trial.add_read_assign(b1, r, -w);
+            trial.add_read_assign(b2, r, w);
+            trial.PlaceSet(b2, cls_.reads[r].fragments);
+            alloc_internal::CloseUpdatesOnBackend(cls_, b2, &trial);
+            moved = true;
+          }
+          if (!moved) continue;
+          GarbageCollect(&trial);
+          if (Evaluate(trial).Better(before)) {
+            *a = std::move(trial);
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  void LocalImprove(Allocation* a) const {
+    for (size_t pass = 0; pass < opts_.improve_passes; ++pass) {
+      const bool improved = ImproveSharedPairs(a) || ImproveUpdateReplicas(a);
+      if (!improved) break;
+    }
+  }
+
+  Allocation Run(const Allocation& seed) {
+    struct Member {
+      Allocation alloc;
+      Cost cost;
+    };
+    auto make_member = [&](Allocation a) {
+      Cost c = Evaluate(a);
+      return Member{std::move(a), c};
+    };
+    auto by_cost = [](const Member& x, const Member& y) {
+      return x.cost.Better(y.cost);
+    };
+
+    std::vector<Member> population;
+    population.push_back(make_member(seed));
+
+    const size_t p = std::max<size_t>(3, opts_.population_size);
+    for (size_t iter = 0; iter < opts_.iterations; ++iter) {
+      // Offspring: p mutations of random parents.
+      std::vector<Member> offspring;
+      offspring.reserve(p);
+      for (size_t i = 0; i < p; ++i) {
+        const Member& parent = population[rng_.NextBounded(population.size())];
+        offspring.push_back(make_member(Mutate(parent.alloc)));
+      }
+      // (λ+µ) selection: best 2/3 of parents + best 1/3 of offspring.
+      std::sort(population.begin(), population.end(), by_cost);
+      std::sort(offspring.begin(), offspring.end(), by_cost);
+      std::vector<Member> next;
+      const size_t keep_parents = std::min(population.size(), 2 * p / 3);
+      const size_t keep_children = std::min(offspring.size(), p - keep_parents);
+      for (size_t i = 0; i < keep_parents; ++i) {
+        next.push_back(std::move(population[i]));
+      }
+      for (size_t i = 0; i < keep_children; ++i) {
+        next.push_back(std::move(offspring[i]));
+      }
+      population = std::move(next);
+      // Memetic step: locally improve a random third of the population.
+      const size_t improve_count = std::max<size_t>(1, population.size() / 3);
+      for (size_t i = 0; i < improve_count; ++i) {
+        Member& m = population[rng_.NextBounded(population.size())];
+        LocalImprove(&m.alloc);
+        m.cost = Evaluate(m.alloc);
+      }
+    }
+    auto best = std::min_element(population.begin(), population.end(), by_cost);
+    return std::move(best->alloc);
+  }
+
+ private:
+  void RebuildBackendRow(Allocation* a, size_t b, const FragmentSet& needed,
+                         const std::vector<bool>& keep_update) const {
+    // Allocation exposes no removal, so rebuild the whole structure with
+    // this backend's row replaced. Cheap at our problem sizes.
+    Allocation fresh(a->num_backends(), a->num_fragments(), a->num_reads(),
+                     a->num_updates());
+    for (size_t bb = 0; bb < a->num_backends(); ++bb) {
+      if (bb == b) {
+        fresh.PlaceSet(bb, needed);
+        for (size_t r = 0; r < a->num_reads(); ++r) {
+          fresh.set_read_assign(bb, r, a->read_assign(bb, r));
+        }
+        for (size_t u = 0; u < a->num_updates(); ++u) {
+          fresh.set_update_assign(
+              bb, u, keep_update[u] ? cls_.updates[u].weight : 0.0);
+        }
+      } else {
+        fresh.PlaceSet(bb, a->BackendFragments(bb));
+        for (size_t r = 0; r < a->num_reads(); ++r) {
+          fresh.set_read_assign(bb, r, a->read_assign(bb, r));
+        }
+        for (size_t u = 0; u < a->num_updates(); ++u) {
+          fresh.set_update_assign(bb, u, a->update_assign(bb, u));
+        }
+      }
+    }
+    *a = std::move(fresh);
+  }
+
+  const Classification& cls_;
+  const std::vector<BackendSpec>& backends_;
+  const MemeticOptions& opts_;
+  Rng rng_;
+};
+
+}  // namespace
+
+Result<Allocation> MemeticAllocator::Allocate(
+    const Classification& cls, const std::vector<BackendSpec>& backends) {
+  GreedyAllocator greedy;
+  QCAP_ASSIGN_OR_RETURN(Allocation seed, greedy.Allocate(cls, backends));
+  return Improve(cls, backends, seed);
+}
+
+Result<Allocation> MemeticAllocator::Improve(
+    const Classification& cls, const std::vector<BackendSpec>& backends,
+    const Allocation& seed_allocation) {
+  QCAP_RETURN_NOT_OK(ValidateBackends(backends));
+  QCAP_RETURN_NOT_OK(cls.Validate());
+  Evolver evolver(cls, backends, options_);
+  return evolver.Run(seed_allocation);
+}
+
+}  // namespace qcap

@@ -1,0 +1,45 @@
+// Memetic (evolutionary + local search) allocation improvement
+// (Algorithm 2, local searches Eq. 21-26).
+//
+// Starts from the greedy solution, evolves a population by mutating read
+// assignments (update placement is re-derived per ROWA), keeps the best
+// 2/3 of parents and 1/3 of offspring each generation, and locally improves
+// a random third of the population with the paper's two improvement moves.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/allocator.h"
+
+namespace qcap {
+
+/// Tuning knobs for the memetic allocator.
+struct MemeticOptions {
+  size_t population_size = 18;   ///< p (multiple of 3 keeps the ratios exact).
+  size_t iterations = 60;        ///< Generations.
+  uint64_t seed = 42;            ///< Mutation RNG seed.
+  /// Maximum local-search sweeps per improve() call.
+  size_t improve_passes = 2;
+};
+
+/// \brief Algorithm 2: evolutionary programming over allocations with local
+/// improvement (a hybrid/memetic heuristic).
+class MemeticAllocator : public Allocator {
+ public:
+  explicit MemeticAllocator(MemeticOptions options = {}) : options_(options) {}
+
+  Result<Allocation> Allocate(const Classification& cls,
+                              const std::vector<BackendSpec>& backends) override;
+  std::string name() const override { return "memetic"; }
+
+  /// Improves an existing \p seed_allocation instead of starting from
+  /// greedy. Used by benches to ablate greedy vs. memetic quality.
+  Result<Allocation> Improve(const Classification& cls,
+                             const std::vector<BackendSpec>& backends,
+                             const Allocation& seed_allocation);
+
+ private:
+  MemeticOptions options_;
+};
+
+}  // namespace qcap

@@ -1,0 +1,51 @@
+// Exact optimal allocation via the Appendix B integer linear program,
+// solved with the in-repo simplex + branch-and-bound.
+//
+// Two-stage optimization, as in the paper: first minimize the scale factor
+// (throughput-optimal), then, holding scale at its optimum, minimize the
+// total allocated bytes (storage-optimal). Tractable at the sizes the paper
+// reports for its LP (<= 7 backends, table-granular fragment counts).
+#pragma once
+
+#include "alloc/allocator.h"
+#include "solver/milp.h"
+
+namespace qcap {
+
+/// Options for the optimal allocator.
+struct OptimalOptions {
+  MilpOptions milp;
+  /// Skip the second (storage-minimizing) stage.
+  bool scale_only = false;
+  /// Tolerance added to the optimal scale in the second stage.
+  double scale_slack = 1e-6;
+  /// Warm start: run the greedy heuristic first and add its scale and
+  /// storage as upper-bound constraints. These bounds are valid (a feasible
+  /// solution can never be worse than optimal) and prune the symmetric
+  /// branch-and-bound tree dramatically on homogeneous clusters.
+  bool greedy_warm_start = true;
+  /// Break backend permutation symmetry with lexicographic ordering
+  /// constraints on the placement matrix (valid for homogeneous backends;
+  /// automatically disabled for heterogeneous ones).
+  bool symmetry_breaking = true;
+};
+
+/// \brief Appendix B: throughput- then storage-optimal allocation.
+class OptimalAllocator : public Allocator {
+ public:
+  explicit OptimalAllocator(OptimalOptions options = {})
+      : options_(std::move(options)) {}
+
+  Result<Allocation> Allocate(const Classification& cls,
+                              const std::vector<BackendSpec>& backends) override;
+  std::string name() const override { return "optimal"; }
+
+  /// The optimal scale found by the last Allocate() call.
+  double last_scale() const { return last_scale_; }
+
+ private:
+  OptimalOptions options_;
+  double last_scale_ = 1.0;
+};
+
+}  // namespace qcap

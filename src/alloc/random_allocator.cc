@@ -1,0 +1,38 @@
+#include "alloc/random_allocator.h"
+
+#include "common/random.h"
+
+namespace qcap {
+
+Result<Allocation> RandomAllocator::Allocate(
+    const Classification& cls, const std::vector<BackendSpec>& backends) {
+  QCAP_RETURN_NOT_OK(ValidateBackends(backends));
+  QCAP_RETURN_NOT_OK(cls.Validate());
+
+  const size_t n = backends.size();
+  Allocation alloc(n, cls.catalog.size(), cls.reads.size(), cls.updates.size());
+  Rng rng(seed_);
+
+  for (size_t r = 0; r < cls.reads.size(); ++r) {
+    const size_t b = static_cast<size_t>(rng.NextBounded(n));
+    alloc.PlaceSet(b, cls.reads[r].fragments);
+    alloc.set_read_assign(b, r, cls.reads[r].weight);
+  }
+  // Update classes not touched by any read still need a home.
+  for (size_t u = 0; u < cls.updates.size(); ++u) {
+    bool placed_anywhere = false;
+    for (size_t b = 0; b < n && !placed_anywhere; ++b) {
+      placed_anywhere = Intersects(cls.updates[u].fragments,
+                                   alloc.BackendFragments(b));
+    }
+    if (!placed_anywhere) {
+      const size_t b = static_cast<size_t>(rng.NextBounded(n));
+      alloc.PlaceSet(b, cls.updates[u].fragments);
+    }
+  }
+  alloc_internal::CloseUpdatesEverywhere(cls, &alloc);
+  alloc_internal::PlaceOrphanFragments(cls, &alloc);
+  return alloc;
+}
+
+}  // namespace qcap

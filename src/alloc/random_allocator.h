@@ -1,0 +1,27 @@
+// Random allocation baseline: each read class lands entirely on a uniformly
+// random backend (the paper's "random allocation" comparator, Fig. 4a).
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/allocator.h"
+
+namespace qcap {
+
+/// \brief Randomized placement of query classes, ignoring load balance.
+///
+/// Deterministic for a given seed. Update classes follow placement per the
+/// ROWA rule (Eq. 10).
+class RandomAllocator : public Allocator {
+ public:
+  explicit RandomAllocator(uint64_t seed) : seed_(seed) {}
+
+  Result<Allocation> Allocate(const Classification& cls,
+                              const std::vector<BackendSpec>& backends) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace qcap

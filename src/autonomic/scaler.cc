@@ -1,0 +1,99 @@
+#include "autonomic/scaler.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qcap {
+
+Result<AutonomicResult> AutonomicScaler::Replay(
+    const std::vector<workloads::TracePoint>& day, size_t fixed_nodes) {
+  if (allocator_ == nullptr) {
+    return Status::InvalidArgument("allocator must not be null");
+  }
+  if (day.empty()) {
+    return Status::InvalidArgument("empty trace");
+  }
+
+  // Allocations per cluster size are cached: the control loop revisits
+  // sizes many times over a day.
+  std::map<size_t, Allocation> alloc_cache;
+  auto allocation_for = [&](size_t nodes) -> Result<const Allocation*> {
+    auto it = alloc_cache.find(nodes);
+    if (it == alloc_cache.end()) {
+      QCAP_ASSIGN_OR_RETURN(
+          Allocation a, allocator_->Allocate(cls_, HomogeneousBackends(nodes)));
+      it = alloc_cache.emplace(nodes, std::move(a)).first;
+    }
+    return &it->second;
+  };
+
+  size_t nodes = fixed_nodes > 0 ? fixed_nodes
+                                 : std::max<size_t>(config_.min_nodes, 1);
+  AutonomicResult result;
+  double response_sum = 0.0;
+  uint64_t response_count = 0;
+
+  for (const auto& bucket : day) {
+    const double rate_qps =
+        bucket.requests_per_10min * config_.trace_multiplier / 600.0;
+
+    QCAP_ASSIGN_OR_RETURN(const Allocation* alloc, allocation_for(nodes));
+    const std::vector<BackendSpec> backends = HomogeneousBackends(nodes);
+    SimulationConfig sim = config_.sim;
+    sim.seed = config_.sim.seed ^ static_cast<uint64_t>(bucket.tod_seconds);
+    QCAP_ASSIGN_OR_RETURN(
+        ClusterSimulator simulator,
+        ClusterSimulator::Create(cls_, *alloc, backends, sim));
+    QCAP_ASSIGN_OR_RETURN(
+        SimStats stats,
+        simulator.RunOpen(config_.slice_seconds, std::max(rate_qps, 0.5)));
+
+    AutonomicStep step;
+    step.tod_seconds = bucket.tod_seconds;
+    step.nodes = nodes;
+    step.arrival_rate_qps = rate_qps;
+    step.avg_response_ms = stats.avg_response_seconds * 1000.0;
+
+    response_sum += stats.avg_response_seconds * 1000.0 *
+                    static_cast<double>(stats.completed_total());
+    response_count += stats.completed_total();
+    result.overall_max_response_ms = std::max(
+        result.overall_max_response_ms, stats.max_response_seconds * 1000.0);
+    result.node_seconds += static_cast<double>(nodes) * 600.0;
+
+    // Control decision for the next bucket.
+    if (fixed_nodes == 0) {
+      double busy = 0.0;
+      for (double b : stats.backend_busy_seconds) busy += b;
+      const double utilization =
+          busy / (static_cast<double>(nodes) *
+                  static_cast<double>(config_.sim.servers_per_backend) *
+                  std::max(stats.duration_seconds, 1e-9));
+      size_t next = nodes;
+      if (step.avg_response_ms > config_.scale_up_response_ms &&
+          nodes < config_.max_nodes) {
+        next = nodes + 1;
+      } else if ((step.avg_response_ms < config_.scale_down_response_ms ||
+                  utilization < config_.scale_down_utilization) &&
+                 nodes > config_.min_nodes) {
+        next = nodes - 1;
+      }
+      if (next != nodes) {
+        QCAP_ASSIGN_OR_RETURN(const Allocation* target, allocation_for(next));
+        QCAP_ASSIGN_OR_RETURN(
+            TransitionPlan plan,
+            physical_.Plan(*alloc, *target, cls_.catalog));
+        step.moved_bytes = plan.total_bytes;
+        nodes = next;
+      }
+    }
+    result.steps.push_back(step);
+  }
+
+  result.overall_avg_response_ms =
+      response_count > 0 ? response_sum / static_cast<double>(response_count)
+                         : 0.0;
+  return result;
+}
+
+}  // namespace qcap

@@ -1,0 +1,76 @@
+// Autonomic scaling (Section 5): a response-time-driven control loop that
+// grows and shrinks the simulated cluster while a diurnal workload plays,
+// reallocating via cost-minimal matching at every resize.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "cluster/simulator.h"
+#include "physical/physical_allocator.h"
+#include "workloads/trace.h"
+
+namespace qcap {
+
+/// Control-loop parameters.
+struct AutonomicConfig {
+  /// Scale out when the bucket's average response exceeds this.
+  double scale_up_response_ms = 35.0;
+  /// Scale in when the bucket's average response drops below this...
+  double scale_down_response_ms = 1e9;
+  /// ...or when the cluster's busy fraction drops below this (response
+  /// times barely move at low load, so utilization is the more robust
+  /// scale-in signal).
+  double scale_down_utilization = 0.35;
+  size_t min_nodes = 1;
+  size_t max_nodes = 6;
+  /// Requests-per-10-minute buckets of the trace are multiplied by this to
+  /// get the offered load (the paper scaled its trace by 40x).
+  double trace_multiplier = 40.0;
+  /// Simulated seconds per trace bucket (a representative slice of the
+  /// 10-minute bucket keeps the simulation cheap).
+  double slice_seconds = 20.0;
+  SimulationConfig sim;
+};
+
+/// One control-loop step (one trace bucket).
+struct AutonomicStep {
+  double tod_seconds = 0.0;
+  size_t nodes = 0;
+  double arrival_rate_qps = 0.0;
+  double avg_response_ms = 0.0;
+  double moved_bytes = 0.0;  ///< ETL volume if the cluster was resized here.
+};
+
+/// Full-day outcome.
+struct AutonomicResult {
+  std::vector<AutonomicStep> steps;
+  double overall_avg_response_ms = 0.0;
+  double overall_max_response_ms = 0.0;
+  double node_seconds = 0.0;  ///< Integral of active nodes over time.
+};
+
+/// \brief Replays a diurnal trace against an autonomically scaled cluster.
+class AutonomicScaler {
+ public:
+  /// \p cls is the (global) classification of the trace workload;
+  /// \p allocator recomputes allocations at each resize.
+  AutonomicScaler(const Classification& cls, Allocator* allocator,
+                  AutonomicConfig config)
+      : cls_(cls), allocator_(allocator), config_(config) {}
+
+  /// Replays \p day. If \p fixed_nodes > 0, the control loop is disabled
+  /// and the cluster stays at that size (the paper's "w/o scaling"
+  /// baseline).
+  Result<AutonomicResult> Replay(const std::vector<workloads::TracePoint>& day,
+                                 size_t fixed_nodes = 0);
+
+ private:
+  const Classification& cls_;
+  Allocator* allocator_;
+  AutonomicConfig config_;
+  PhysicalAllocator physical_;
+};
+
+}  // namespace qcap

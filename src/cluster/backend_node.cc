@@ -1,0 +1,50 @@
+#include "cluster/backend_node.h"
+
+#include <algorithm>
+
+namespace qcap {
+
+bool BackendNode::CanStart(double now) const {
+  if (queue_.empty()) return false;
+  for (double t : server_free_at_) {
+    if (t <= now) return true;
+  }
+  return false;
+}
+
+bool BackendNode::StartNext(double now, BackendTask* task,
+                            double* completion_time) {
+  if (queue_.empty()) return false;
+  // Earliest-free server.
+  size_t best = 0;
+  for (size_t i = 1; i < server_free_at_.size(); ++i) {
+    if (server_free_at_[i] < server_free_at_[best]) best = i;
+  }
+  const double start = std::max(now, server_free_at_[best]);
+  *task = queue_.front();
+  queue_.pop_front();
+  *completion_time = start + task->service_seconds;
+  server_free_at_[best] = *completion_time;
+  ++in_service_;
+  return true;
+}
+
+std::vector<BackendTask> BackendNode::DrainQueue() {
+  std::vector<BackendTask> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+void BackendNode::FinishOne(double busy_seconds) {
+  if (in_service_ > 0) --in_service_;
+  busy_seconds_ += busy_seconds;
+  ++completed_tasks_;
+}
+
+double BackendNode::NextFreeTime() const {
+  double best = server_free_at_[0];
+  for (double t : server_free_at_) best = std::min(best, t);
+  return best;
+}
+
+}  // namespace qcap

@@ -1,0 +1,62 @@
+// Simulated backend DBMS: a FIFO work queue with a configurable number of
+// parallel connections (servers), matching the prototype's
+// one-queue-per-backend design (Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace qcap {
+
+/// One unit of work queued on a backend.
+struct BackendTask {
+  uint64_t request_id = 0;   ///< Logical request this task belongs to.
+  double service_seconds = 0.0;
+  double enqueue_time = 0.0;
+};
+
+/// \brief FIFO queue + k parallel servers for one backend.
+class BackendNode {
+ public:
+  explicit BackendNode(size_t servers = 1) : server_free_at_(servers, 0.0) {}
+
+  /// Number of queued-but-not-started tasks plus tasks in service: the
+  /// "pending requests" the least-pending-first scheduler compares.
+  size_t pending() const { return queue_.size() + in_service_; }
+
+  /// Enqueues a task.
+  void Enqueue(const BackendTask& task) { queue_.push_back(task); }
+
+  /// True if a server is free at \p now and a task is waiting.
+  bool CanStart(double now) const;
+
+  /// Starts the next task on the earliest-free server; returns the task
+  /// and its completion time via out-params. Requires CanStart(now) or a
+  /// queued task (the start time is max(now, server free time)).
+  bool StartNext(double now, BackendTask* task, double* completion_time);
+
+  /// Marks one task completed (bookkeeping for pending()).
+  void FinishOne(double busy_seconds);
+
+  /// Removes and returns all queued (not yet started) tasks — used when
+  /// the backend crashes.
+  std::vector<BackendTask> DrainQueue();
+
+  /// Earliest time any server becomes free.
+  double NextFreeTime() const;
+
+  bool HasQueued() const { return !queue_.empty(); }
+  double busy_seconds() const { return busy_seconds_; }
+  uint64_t completed_tasks() const { return completed_tasks_; }
+
+ private:
+  std::deque<BackendTask> queue_;
+  std::vector<double> server_free_at_;
+  size_t in_service_ = 0;
+  double busy_seconds_ = 0.0;
+  uint64_t completed_tasks_ = 0;
+};
+
+}  // namespace qcap

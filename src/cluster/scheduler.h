@@ -1,0 +1,45 @@
+// Query scheduler (Section 2): least-pending-request-first dispatch of
+// whole queries to backends that hold all required data, with ROWA fan-out
+// of updates to every backend storing referenced data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "model/allocation.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// \brief Precomputed dispatch tables for one allocation.
+class Scheduler {
+ public:
+  /// Builds eligibility from \p alloc: a read class can run on any backend
+  /// holding all its fragments; an update class must run on every backend
+  /// holding any of its fragments. Fails if some class has no eligible
+  /// backend.
+  static Result<Scheduler> Build(const Classification& cls,
+                                 const Allocation& alloc);
+
+  /// Backends capable of serving read class \p r.
+  const std::vector<size_t>& ReadCandidates(size_t r) const {
+    return read_candidates_[r];
+  }
+  /// Backends that must all execute update class \p u (ROWA).
+  const std::vector<size_t>& UpdateTargets(size_t u) const {
+    return update_targets_[u];
+  }
+
+  /// Least-pending-first choice among \p r's candidates given the current
+  /// per-backend pending counts. Ties rotate round-robin so equal queues
+  /// share the load instead of piling onto the lowest index.
+  size_t PickReadBackend(size_t r, const std::vector<size_t>& pending);
+
+ private:
+  std::vector<std::vector<size_t>> read_candidates_;
+  std::vector<std::vector<size_t>> update_targets_;
+  size_t rotation_ = 0;
+};
+
+}  // namespace qcap

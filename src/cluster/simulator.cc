@@ -1,0 +1,324 @@
+#include "cluster/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "cluster/backend_node.h"
+
+namespace qcap {
+
+namespace {
+
+/// Sentinel request id for asynchronous secondary update application
+/// (primary-copy / lazy propagation): consumes backend capacity but never
+/// completes a logical request.
+constexpr uint64_t kBackgroundRequest = ~uint64_t{0};
+
+struct Event {
+  double time = 0.0;
+  enum class Kind { kCompletion, kArrival, kFailure } kind = Kind::kCompletion;
+  size_t backend = 0;        // kCompletion / kFailure.
+  uint64_t request_id = 0;   // kCompletion / kArrival.
+  double busy_seconds = 0.0; // kCompletion.
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct Request {
+  size_t class_index = 0;  // reads first, then updates.
+  size_t remaining_replicas = 0;
+  double submit_time = 0.0;
+  bool is_update = false;
+  bool failed = false;  // A replica was lost to a crash.
+};
+
+}  // namespace
+
+struct ClusterSimulator::RunState {
+  std::vector<BackendNode> nodes;
+  std::vector<bool> alive;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<Request> requests;
+  ResponseAccumulator responses;
+  uint64_t completed_reads = 0;
+  uint64_t completed_updates = 0;
+  uint64_t failed_requests = 0;
+  uint64_t rejected_requests = 0;
+  size_t rotation = 0;
+  double last_completion = 0.0;
+
+  /// One replica of \p request_id finished or was lost; updates counters
+  /// when the logical request is done. Returns true iff this call finished
+  /// the logical request.
+  bool Account(uint64_t request_id, double now, bool lost) {
+    Request& req = requests[request_id];
+    if (lost) req.failed = true;
+    if (--req.remaining_replicas != 0) return false;
+    if (req.failed) {
+      ++failed_requests;
+      return true;
+    }
+    responses.Add(now - req.submit_time);
+    last_completion = now;
+    if (req.is_update) {
+      ++completed_updates;
+    } else {
+      ++completed_reads;
+    }
+    return true;
+  }
+};
+
+Result<ClusterSimulator> ClusterSimulator::Create(
+    const Classification& cls, const Allocation& alloc,
+    const std::vector<BackendSpec>& backends, const SimulationConfig& config) {
+  QCAP_RETURN_NOT_OK(ValidateBackends(backends));
+  QCAP_ASSIGN_OR_RETURN(Scheduler scheduler, Scheduler::Build(cls, alloc));
+  return ClusterSimulator(cls, alloc, backends, config, std::move(scheduler));
+}
+
+ClusterSimulator::ClusterSimulator(const Classification& cls,
+                                   const Allocation& alloc,
+                                   const std::vector<BackendSpec>& backends,
+                                   const SimulationConfig& config,
+                                   Scheduler scheduler)
+    : cls_(cls),
+      alloc_(alloc),
+      backends_(backends),
+      config_(config),
+      scheduler_(std::move(scheduler)) {
+  engine::CostModel model(config_.cost_params);
+  service_ = model.ServiceMatrix(cls_, alloc_, backends_);
+  if (config_.rowa_fanout_overhead > 0.0) {
+    for (size_t u = 0; u < cls_.updates.size(); ++u) {
+      const size_t fanout = scheduler_.UpdateTargets(u).size();
+      if (fanout > 1) {
+        const double factor = 1.0 + config_.rowa_fanout_overhead *
+                                        static_cast<double>(fanout - 1);
+        for (double& service : service_[cls_.reads.size() + u]) {
+          service *= factor;
+        }
+      }
+    }
+  }
+  // Execution frequency of a class is its weight divided by the mean cost
+  // of one execution (weight = frequency x cost share).
+  frequency_.reserve(cls_.NumClasses());
+  for (const auto& c : cls_.reads) {
+    frequency_.push_back(c.weight / std::max(c.mean_cost, 1e-12));
+  }
+  for (const auto& c : cls_.updates) {
+    frequency_.push_back(c.weight / std::max(c.mean_cost, 1e-12));
+  }
+}
+
+size_t ClusterSimulator::SampleClass(Rng* rng) const {
+  return rng->NextDiscrete(frequency_);
+}
+
+void ClusterSimulator::Dispatch(RunState* state, uint64_t request_id,
+                                size_t class_index, double now) {
+  const bool is_update = class_index >= cls_.reads.size();
+  Request& req = state->requests[request_id];
+  req.class_index = class_index;
+  req.submit_time = now;
+  req.is_update = is_update;
+
+  if (is_update) {
+    const size_t u = class_index - cls_.reads.size();
+    std::vector<size_t> targets;
+    for (size_t b : scheduler_.UpdateTargets(u)) {
+      if (state->alive[b]) targets.push_back(b);
+    }
+    if (targets.empty()) {
+      ++state->rejected_requests;
+      return;
+    }
+    const bool synchronous =
+        config_.propagation == UpdatePropagation::kRowa;
+    req.remaining_replicas = synchronous ? targets.size() : 1;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const size_t b = targets[i];
+      double service = service_[class_index][b];
+      uint64_t task_request = request_id;
+      if (!synchronous && i > 0) {
+        // Asynchronous secondary application: loads the backend but does
+        // not gate the client's response.
+        task_request = kBackgroundRequest;
+        if (config_.propagation == UpdatePropagation::kLazy) {
+          service *= config_.lazy_apply_factor;
+        }
+      }
+      state->nodes[b].Enqueue(BackendTask{task_request, service, now});
+      StartReady(state, b, now);
+    }
+  } else {
+    // Least-pending-first over the class's *surviving* capable backends;
+    // ties rotate round-robin so equal queues share the load.
+    const auto& candidates = scheduler_.ReadCandidates(class_index);
+    const size_t start = state->rotation++ % candidates.size();
+    size_t best = state->nodes.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const size_t b = candidates[(start + i) % candidates.size()];
+      if (!state->alive[b]) continue;
+      if (best == state->nodes.size() ||
+          state->nodes[b].pending() < state->nodes[best].pending()) {
+        best = b;
+      }
+    }
+    if (best == state->nodes.size()) {
+      ++state->rejected_requests;
+      return;
+    }
+    req.remaining_replicas = 1;
+    state->nodes[best].Enqueue(
+        BackendTask{request_id, service_[class_index][best], now});
+    StartReady(state, best, now);
+  }
+}
+
+void ClusterSimulator::StartReady(RunState* state, size_t backend, double now) {
+  if (!state->alive[backend]) return;
+  BackendNode& node = state->nodes[backend];
+  while (node.CanStart(now)) {
+    BackendTask task;
+    double completion = 0.0;
+    if (!node.StartNext(now, &task, &completion)) break;
+    state->events.push(Event{completion, Event::Kind::kCompletion, backend,
+                             task.request_id, task.service_seconds});
+  }
+}
+
+SimStats ClusterSimulator::Finish(const RunState& state) const {
+  SimStats stats;
+  stats.duration_seconds = state.last_completion;
+  stats.completed_reads = state.completed_reads;
+  stats.completed_updates = state.completed_updates;
+  stats.failed_requests = state.failed_requests;
+  stats.rejected_requests = state.rejected_requests;
+  stats.throughput = stats.duration_seconds > 0.0
+                         ? static_cast<double>(stats.completed_total()) /
+                               stats.duration_seconds
+                         : 0.0;
+  stats.avg_response_seconds = state.responses.mean();
+  stats.max_response_seconds = state.responses.max();
+  stats.backend_busy_seconds.reserve(state.nodes.size());
+  for (const auto& node : state.nodes) {
+    stats.backend_busy_seconds.push_back(node.busy_seconds());
+  }
+  return stats;
+}
+
+Result<SimStats> ClusterSimulator::RunClosed(uint64_t num_requests,
+                                             size_t concurrency) {
+  if (num_requests == 0 || concurrency == 0) {
+    return Status::InvalidArgument("num_requests and concurrency must be > 0");
+  }
+  if (!config_.failures.empty()) {
+    return Status::InvalidArgument(
+        "failure injection is only supported in open-loop runs");
+  }
+  Rng rng(config_.seed);
+  RunState state;
+  state.nodes.assign(backends_.size(),
+                     BackendNode(config_.servers_per_backend));
+  state.alive.assign(backends_.size(), true);
+  state.requests.resize(num_requests);
+
+  uint64_t issued = 0;
+  const uint64_t initial = std::min<uint64_t>(concurrency, num_requests);
+  for (; issued < initial; ++issued) {
+    Dispatch(&state, issued, SampleClass(&rng), 0.0);
+  }
+
+  while (!state.events.empty()) {
+    const Event ev = state.events.top();
+    state.events.pop();
+    const double now = ev.time;
+    state.nodes[ev.backend].FinishOne(ev.busy_seconds);
+    if (ev.request_id != kBackgroundRequest &&
+        state.Account(ev.request_id, now, /*lost=*/false) &&
+        issued < num_requests) {
+      Dispatch(&state, issued, SampleClass(&rng), now);
+      ++issued;
+    }
+    StartReady(&state, ev.backend, now);
+  }
+  return Finish(state);
+}
+
+Result<SimStats> ClusterSimulator::RunOpen(double duration_seconds,
+                                           double arrival_rate) {
+  if (duration_seconds <= 0.0 || arrival_rate <= 0.0) {
+    return Status::InvalidArgument("duration and arrival rate must be > 0");
+  }
+  Rng rng(config_.seed);
+  RunState state;
+  state.nodes.assign(backends_.size(),
+                     BackendNode(config_.servers_per_backend));
+  state.alive.assign(backends_.size(), true);
+
+  // Pre-generate Poisson arrival times.
+  std::vector<double> arrivals;
+  double t = 0.0;
+  while (true) {
+    t += rng.NextExponential(1.0 / arrival_rate);
+    if (t >= duration_seconds) break;
+    arrivals.push_back(t);
+  }
+  state.requests.resize(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    state.events.push(Event{arrivals[i], Event::Kind::kArrival, 0, i, 0.0});
+  }
+  for (const BackendFailure& failure : config_.failures) {
+    if (failure.backend >= backends_.size()) {
+      return Status::InvalidArgument("failure backend index out of range");
+    }
+    state.events.push(
+        Event{failure.time_seconds, Event::Kind::kFailure, failure.backend,
+              0, 0.0});
+  }
+
+  while (!state.events.empty()) {
+    const Event ev = state.events.top();
+    state.events.pop();
+    const double now = ev.time;
+    if (ev.kind == Event::Kind::kArrival) {
+      Dispatch(&state, ev.request_id, SampleClass(&rng), now);
+      continue;
+    }
+    if (ev.kind == Event::Kind::kFailure) {
+      if (!state.alive[ev.backend]) continue;
+      state.alive[ev.backend] = false;
+      // Queued work is lost; its logical requests fail.
+      for (const BackendTask& task : state.nodes[ev.backend].DrainQueue()) {
+        if (task.request_id != kBackgroundRequest) {
+          state.Account(task.request_id, now, /*lost=*/true);
+        }
+      }
+      continue;
+    }
+    if (!state.alive[ev.backend]) {
+      // In-flight task on a crashed backend: the work is lost.
+      if (ev.request_id != kBackgroundRequest) {
+        state.Account(ev.request_id, now, /*lost=*/true);
+      }
+      continue;
+    }
+    state.nodes[ev.backend].FinishOne(ev.busy_seconds);
+    if (ev.request_id != kBackgroundRequest) {
+      state.Account(ev.request_id, now, /*lost=*/false);
+    }
+    StartReady(&state, ev.backend, now);
+  }
+  SimStats stats = Finish(state);
+  // Open-loop throughput is measured over the arrival window.
+  stats.duration_seconds = std::max(duration_seconds, state.last_completion);
+  stats.throughput = stats.duration_seconds > 0.0
+                         ? static_cast<double>(stats.completed_total()) /
+                               stats.duration_seconds
+                         : 0.0;
+  return stats;
+}
+
+}  // namespace qcap

@@ -1,0 +1,112 @@
+// Discrete-event simulation of the CDBS processing model (Section 2).
+//
+// Replaces the paper's physical 16-node PostgreSQL/MySQL cluster: queries
+// are dispatched by the least-pending-first scheduler to per-backend FIFO
+// queues, updates fan out per ROWA, and service times come from the engine
+// cost model. Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/scheduler.h"
+#include "cluster/stats.h"
+#include "common/random.h"
+#include "engine/cost_model.h"
+#include "model/allocation.h"
+#include "model/backend.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// Update-synchronization protocol (Section 2 discusses ROWA; primary copy
+/// and lazy replication are the alternatives the paper notes "could be
+/// easily incorporated into our model and system").
+enum class UpdatePropagation {
+  /// Read-once/write-all: an update completes when every replica has
+  /// executed it synchronously.
+  kRowa,
+  /// The lowest-indexed replica is the primary; the client's update
+  /// completes with the primary, the other replicas apply it
+  /// asynchronously (same work, better latency).
+  kPrimaryCopy,
+  /// Primary copy plus batched application on the secondaries (group
+  /// commit): replica apply work is discounted by lazy_apply_factor.
+  kLazy,
+};
+
+/// A backend crash injected into an open-loop run: at \p time_seconds the
+/// backend stops, its queued and in-flight work is lost, and the scheduler
+/// routes around it (requests whose class has no surviving capable backend
+/// are rejected).
+struct BackendFailure {
+  double time_seconds = 0.0;
+  size_t backend = 0;
+};
+
+/// Configuration of one simulated cluster.
+struct SimulationConfig {
+  engine::CostModelParams cost_params;
+  /// Parallel connections per backend queue (Figure 3: "for each queue,
+  /// multiple connections are opened").
+  size_t servers_per_backend = 4;
+  /// Seed for workload sampling.
+  uint64_t seed = 1;
+  /// How updates reach the replicas.
+  UpdatePropagation propagation = UpdatePropagation::kRowa;
+  /// Work discount for asynchronous batched application under kLazy.
+  double lazy_apply_factor = 0.5;
+  /// Crashes to inject (open-loop runs only).
+  std::vector<BackendFailure> failures;
+  /// ROWA coordination overhead: each update's per-replica service time is
+  /// inflated by this fraction per additional replica (ordering all
+  /// replicas' application of the same update costs synchronization that
+  /// grows with the fan-out). 0 disables the effect.
+  double rowa_fanout_overhead = 0.0;
+};
+
+/// \brief Event-driven cluster simulator over a fixed allocation.
+class ClusterSimulator {
+ public:
+  /// Builds a simulator; fails if the allocation leaves a class unservable.
+  static Result<ClusterSimulator> Create(const Classification& cls,
+                                         const Allocation& alloc,
+                                         const std::vector<BackendSpec>& backends,
+                                         const SimulationConfig& config);
+
+  /// Closed-loop run: keeps \p concurrency logical requests outstanding
+  /// until \p num_requests have been issued; measures saturated throughput
+  /// (the paper's fixed-request-count test runs).
+  Result<SimStats> RunClosed(uint64_t num_requests, size_t concurrency);
+
+  /// Open-loop run: Poisson arrivals at \p arrival_rate requests/second for
+  /// \p duration_seconds; measures response times under a target load (the
+  /// Section 5 elasticity experiments).
+  Result<SimStats> RunOpen(double duration_seconds, double arrival_rate);
+
+ private:
+  ClusterSimulator(const Classification& cls, const Allocation& alloc,
+                   const std::vector<BackendSpec>& backends,
+                   const SimulationConfig& config, Scheduler scheduler);
+
+  struct RunState;
+
+  /// Samples a class index in [0, reads+updates) by execution frequency.
+  size_t SampleClass(Rng* rng) const;
+  void Dispatch(RunState* state, uint64_t request_id, size_t class_index,
+                double now);
+  void StartReady(RunState* state, size_t backend, double now);
+  SimStats Finish(const RunState& state) const;
+
+  const Classification& cls_;
+  const Allocation& alloc_;
+  std::vector<BackendSpec> backends_;
+  SimulationConfig config_;
+  Scheduler scheduler_;
+  /// service_[class][backend], reads first then updates.
+  std::vector<std::vector<double>> service_;
+  /// Sampling frequencies per class (reads first then updates).
+  std::vector<double> frequency_;
+};
+
+}  // namespace qcap

@@ -1,0 +1,38 @@
+#include "cluster/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace qcap {
+
+double SimStats::BusyBalanceDeviation(
+    const std::vector<double>& relative_loads) const {
+  const size_t n = backend_busy_seconds.size();
+  if (n == 0 || relative_loads.size() != n) return 0.0;
+  std::vector<double> normalized(n);
+  double sum = 0.0;
+  for (size_t b = 0; b < n; ++b) {
+    normalized[b] = backend_busy_seconds[b] / relative_loads[b];
+    sum += normalized[b];
+  }
+  const double avg = sum / static_cast<double>(n);
+  if (avg <= 0.0) return 0.0;
+  double max_dev = 0.0;
+  for (double v : normalized) {
+    max_dev = std::max(max_dev, std::abs(v - avg) / avg);
+  }
+  return max_dev;
+}
+
+std::string SimStats::ToString() const {
+  return "throughput=" + FormatDouble(throughput, 2) + " q/s, completed=" +
+         std::to_string(completed_total()) + " (" +
+         std::to_string(completed_reads) + "r/" +
+         std::to_string(completed_updates) + "u), avg_resp=" +
+         FormatDouble(avg_response_seconds * 1000.0, 1) + " ms, duration=" +
+         FormatDouble(duration_seconds, 1) + " s";
+}
+
+}  // namespace qcap

@@ -1,0 +1,60 @@
+// Simulation statistics: throughput, latency, and per-backend utilization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcap {
+
+/// Results of one simulated run.
+struct SimStats {
+  /// Simulated wall-clock seconds.
+  double duration_seconds = 0.0;
+  /// Completed logical requests (an update counts once even though it runs
+  /// on every replica).
+  uint64_t completed_reads = 0;
+  uint64_t completed_updates = 0;
+  /// Requests lost to an injected backend failure mid-execution.
+  uint64_t failed_requests = 0;
+  /// Requests that could not be dispatched because no surviving backend
+  /// holds the class's data (the situation k-safety prevents).
+  uint64_t rejected_requests = 0;
+  /// Logical requests per second.
+  double throughput = 0.0;
+  /// Mean and maximum response time (queueing + service) in seconds.
+  double avg_response_seconds = 0.0;
+  double max_response_seconds = 0.0;
+  /// Per-backend total busy (processing) seconds.
+  std::vector<double> backend_busy_seconds;
+
+  uint64_t completed_total() const { return completed_reads + completed_updates; }
+
+  /// Relative deviation from the average per-backend processing time
+  /// normalized by relative performance (the balance measure of Fig. 4j).
+  /// \p relative_loads are the backends' performance shares.
+  double BusyBalanceDeviation(const std::vector<double>& relative_loads) const;
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Online mean/max accumulator for response times.
+class ResponseAccumulator {
+ public:
+  void Add(double seconds) {
+    sum_ += seconds;
+    ++count_;
+    if (seconds > max_) max_ = seconds;
+  }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double max() const { return max_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace qcap

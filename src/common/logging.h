@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr. Benches and examples use INFO; library
+// code logs only at DEBUG (off by default) so test output stays quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qcap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted. Default: kWarning.
+void SetLogLevel(LogLevel level);
+/// Current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define QCAP_LOG(level)                                                 \
+  ::qcap::internal::LogMessage(::qcap::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace qcap

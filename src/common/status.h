@@ -1,0 +1,143 @@
+// Status and Result<T> error handling, following the Arrow/RocksDB idiom:
+// library code never throws; fallible operations return Status or Result<T>.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qcap {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kInfeasible,       ///< An optimization problem has no feasible solution.
+  kUnbounded,        ///< An optimization problem is unbounded.
+  kResourceExhausted ///< A configured limit (time, iterations) was hit.
+};
+
+/// \brief Outcome of an operation that can fail.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// human-readable message. Statuses are cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error \p code and \p message.
+  Status(StatusCode code, std::string message);
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status Unimplemented(std::string msg);
+  static Status Internal(std::string msg);
+  static Status Infeasible(std::string msg);
+  static Status Unbounded(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+
+  /// True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+  /// The status code; kOk when ok().
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// The error message; empty when ok().
+  const std::string& message() const;
+
+  /// Renders the status as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsUnbounded() const { return code() == StatusCode::kUnbounded; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;  // null == OK
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding \p value.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a Result holding a non-OK \p status.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok() && "Result must not hold an OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  /// Borrow the value. Requires ok().
+  const T& value() const& {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(data_);
+  }
+  /// Move the value out. Requires ok().
+  T&& value() && {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise \p fallback.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define QCAP_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::qcap::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Assigns the value of a Result to `lhs`, propagating errors.
+#define QCAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define QCAP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  QCAP_ASSIGN_OR_RETURN_IMPL(QCAP_CONCAT_(_result_, __LINE__), lhs, rexpr)
+#define QCAP_CONCAT_INNER_(a, b) a##b
+#define QCAP_CONCAT_(a, b) QCAP_CONCAT_INNER_(a, b)
+
+}  // namespace qcap

@@ -1,0 +1,27 @@
+// Small string/formatting helpers shared by reports, benches, and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qcap {
+
+/// Joins \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Formats a double with \p precision fractional digits.
+std::string FormatDouble(double v, int precision = 3);
+
+/// Formats a fraction in [0,1] as a percentage, e.g. 0.254 -> "25.4%".
+std::string FormatPercent(double v, int precision = 1);
+
+/// Formats a byte count with binary units, e.g. "1.5 MiB".
+std::string FormatBytes(double bytes);
+
+/// Left-pads \p s with spaces to at least \p width characters.
+std::string PadLeft(const std::string& s, size_t width);
+
+/// Right-pads \p s with spaces to at least \p width characters.
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace qcap

@@ -1,0 +1,86 @@
+#include "engine/catalog.h"
+
+namespace qcap::engine {
+
+uint64_t TableDef::RowWidth() const {
+  uint64_t w = 0;
+  for (const auto& c : columns) w += c.width();
+  return w;
+}
+
+int TableDef::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> TableDef::PrimaryKeyColumns() const {
+  std::vector<std::string> keys;
+  for (const auto& c : columns) {
+    if (c.primary_key) keys.push_back(c.name);
+  }
+  return keys;
+}
+
+Status Catalog::AddTable(TableDef table) {
+  if (table.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("table '" + table.name + "' has no columns");
+  }
+  if (index_.count(table.name) != 0) {
+    return Status::AlreadyExists("table '" + table.name + "' already registered");
+  }
+  index_[table.name] = tables_.size();
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+void Catalog::SetScaleFactor(double sf) { scale_factor_ = sf; }
+
+Result<const TableDef*> Catalog::FindTable(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &tables_[it->second];
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+Result<double> Catalog::TableRows(const std::string& table) const {
+  QCAP_ASSIGN_OR_RETURN(const TableDef* def, FindTable(table));
+  return static_cast<double>(def->base_rows) * scale_factor_;
+}
+
+Result<double> Catalog::TableBytes(const std::string& table) const {
+  QCAP_ASSIGN_OR_RETURN(const TableDef* def, FindTable(table));
+  return static_cast<double>(def->base_rows) * scale_factor_ *
+         static_cast<double>(def->RowWidth());
+}
+
+Result<double> Catalog::ColumnBytes(const std::string& table,
+                                    const std::string& column) const {
+  QCAP_ASSIGN_OR_RETURN(const TableDef* def, FindTable(table));
+  int idx = def->ColumnIndex(column);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + column + "' in table '" + table + "'");
+  }
+  return static_cast<double>(def->base_rows) * scale_factor_ *
+         static_cast<double>(def->columns[static_cast<size_t>(idx)].width());
+}
+
+double Catalog::TotalBytes() const {
+  double total = 0.0;
+  for (const auto& t : tables_) {
+    total += static_cast<double>(t.base_rows) * scale_factor_ *
+             static_cast<double>(t.RowWidth());
+  }
+  return total;
+}
+
+}  // namespace qcap::engine

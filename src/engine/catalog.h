@@ -1,0 +1,84 @@
+// Schema catalog: table and column definitions with physical sizes.
+//
+// The catalog is the single source of truth for fragment sizes. Row counts
+// scale linearly with a scale factor, mirroring TPC-style data generators.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace qcap::engine {
+
+/// Definition of one column of a table.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  uint32_t declared_width = 0;  ///< For kChar/kVarchar: (average) width.
+  bool primary_key = false;     ///< Part of the table's candidate key.
+
+  /// Storage width in bytes of one value.
+  uint32_t width() const { return TypeWidth(type, declared_width); }
+};
+
+/// Definition of one table.
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  /// Row count at scale factor 1. Actual rows = base_rows * scale_factor.
+  uint64_t base_rows = 0;
+
+  /// Width in bytes of one full row.
+  uint64_t RowWidth() const;
+  /// Index of column \p column_name, or -1 if absent.
+  int ColumnIndex(const std::string& column_name) const;
+  /// Names of the primary-key columns.
+  std::vector<std::string> PrimaryKeyColumns() const;
+};
+
+/// \brief A database schema with physical size accounting.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers \p table. Fails if a table of the same name exists or the
+  /// definition is empty.
+  Status AddTable(TableDef table);
+
+  /// Sets the data scale factor (default 1.0). Row counts and all sizes
+  /// scale linearly.
+  void SetScaleFactor(double sf);
+  double scale_factor() const { return scale_factor_; }
+
+  /// Number of tables.
+  size_t NumTables() const { return tables_.size(); }
+  /// All table definitions in registration order.
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  /// Looks up a table by name.
+  Result<const TableDef*> FindTable(const std::string& name) const;
+  /// True iff \p name is a registered table.
+  bool HasTable(const std::string& name) const;
+
+  /// Rows of \p table at the current scale factor.
+  Result<double> TableRows(const std::string& table) const;
+  /// Bytes of the full \p table at the current scale factor.
+  Result<double> TableBytes(const std::string& table) const;
+  /// Bytes of one column of \p table at the current scale factor.
+  Result<double> ColumnBytes(const std::string& table,
+                             const std::string& column) const;
+
+  /// Total bytes of all tables.
+  double TotalBytes() const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::map<std::string, size_t> index_;
+  double scale_factor_ = 1.0;
+};
+
+}  // namespace qcap::engine

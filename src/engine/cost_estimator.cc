@@ -1,0 +1,76 @@
+#include "engine/cost_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qcap::engine {
+
+Result<double> CostEstimator::EstimateSeconds(const Query& query) const {
+  if (query.accesses.empty()) {
+    return Status::InvalidArgument("query '" + query.text +
+                                   "' references no tables");
+  }
+
+  if (query.is_update) {
+    // OLTP-style write: overhead + row writes + index maintenance on the
+    // primary keys of every referenced table.
+    double seconds = params_.statement_overhead_seconds;
+    for (const auto& access : query.accesses) {
+      QCAP_ASSIGN_OR_RETURN(const TableDef* def,
+                            catalog_.FindTable(access.table));
+      const double keys =
+          std::max<size_t>(1, def->PrimaryKeyColumns().size());
+      seconds += params_.rows_per_update *
+                 (params_.seconds_per_written_row +
+                  keys * params_.seconds_per_index_entry);
+    }
+    return seconds;
+  }
+
+  double scan_bytes = 0.0;
+  double rows_touched = 0.0;
+  for (const auto& access : query.accesses) {
+    QCAP_ASSIGN_OR_RETURN(const TableDef* def, catalog_.FindTable(access.table));
+    QCAP_ASSIGN_OR_RETURN(double rows, catalog_.TableRows(access.table));
+    double fraction = 1.0;
+    if (!access.partitions.empty()) {
+      // Partition-aligned predicate: assume equal-size ranges; the
+      // classifier's partition count is unknown here, so use the largest
+      // referenced partition index + 1 as a floor for the divisor.
+      int max_part = 0;
+      for (int p : access.partitions) max_part = std::max(max_part, p);
+      fraction = static_cast<double>(access.partitions.size()) /
+                 static_cast<double>(max_part + 1);
+      fraction = std::min(1.0, fraction);
+    }
+    rows_touched += rows * fraction;
+    if (access.columns.empty()) {
+      scan_bytes += static_cast<double>(def->RowWidth()) * rows * fraction;
+    } else {
+      for (const auto& col : access.columns) {
+        QCAP_ASSIGN_OR_RETURN(double bytes,
+                              catalog_.ColumnBytes(access.table, col));
+        scan_bytes += bytes * fraction;
+      }
+    }
+  }
+  const double join_multiplier =
+      std::pow(params_.join_factor,
+               static_cast<double>(query.accesses.size()) - 1.0);
+  return params_.statement_overhead_seconds +
+         scan_bytes / params_.scan_bytes_per_second +
+         rows_touched * params_.seconds_per_row * join_multiplier;
+}
+
+Result<QueryJournal> CostEstimator::Reweight(const QueryJournal& journal) const {
+  QueryJournal out;
+  const auto& queries = journal.queries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Query q = queries[i];
+    QCAP_ASSIGN_OR_RETURN(q.cost, EstimateSeconds(q));
+    out.Record(q, journal.count(i));
+  }
+  return out;
+}
+
+}  // namespace qcap::engine

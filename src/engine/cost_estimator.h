@@ -1,0 +1,57 @@
+// Analytical per-query cost estimation (Section 3.1: class weights can be
+// computed from summed execution times *or a cost estimation, e.g., from
+// the query optimizer* [43]). Used to weight journals when measured
+// execution times are unavailable.
+//
+// The model is a coarse optimizer-style estimate:
+//   read  = scanned-column bytes / scan rate
+//           + rows touched * per-row CPU * join factor^(#tables - 1)
+//   update = fixed statement overhead + row write cost + index maintenance
+// Absolute values matter less than relative magnitudes: classification
+// weights are normalized (Eq. 4).
+#pragma once
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "workload/journal.h"
+
+namespace qcap::engine {
+
+/// Tunable constants of the estimator.
+struct CostEstimatorParams {
+  /// Sequential columnar scan rate.
+  double scan_bytes_per_second = 150.0 * 1024 * 1024;
+  /// CPU cost per row touched (predicate evaluation, tuple assembly).
+  double seconds_per_row = 40e-9;
+  /// Multiplier per additional joined table (hash build + probe overhead).
+  double join_factor = 1.6;
+  /// Fixed statement overhead (parse, plan, round trip).
+  double statement_overhead_seconds = 150e-6;
+  /// Write cost per updated/inserted row (WAL + heap).
+  double seconds_per_written_row = 10e-6;
+  /// Rows written per update statement (OLTP point writes).
+  double rows_per_update = 1.0;
+  /// Index maintenance cost per written row and index.
+  double seconds_per_index_entry = 4e-6;
+};
+
+/// \brief Estimates per-execution costs from the schema catalog.
+class CostEstimator {
+ public:
+  CostEstimator(const Catalog& catalog, CostEstimatorParams params = {})
+      : catalog_(catalog), params_(params) {}
+
+  /// Estimated seconds for one execution of \p query. Fails on unknown
+  /// tables/columns.
+  Result<double> EstimateSeconds(const Query& query) const;
+
+  /// Returns a copy of \p journal with every query's cost replaced by the
+  /// estimate (the optimizer-driven weighting mode).
+  Result<QueryJournal> Reweight(const QueryJournal& journal) const;
+
+ private:
+  const Catalog& catalog_;
+  CostEstimatorParams params_;
+};
+
+}  // namespace qcap::engine

@@ -1,0 +1,78 @@
+#include "engine/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qcap::engine {
+
+namespace {
+
+std::string RandomString(Rng* rng, uint32_t width) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  std::string out;
+  out.reserve(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    out.push_back(kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+Value RandomValue(const ColumnDef& def, uint64_t row, Rng* rng) {
+  switch (def.type) {
+    case ColumnType::kInt32:
+    case ColumnType::kInt64:
+      // Primary keys are dense and unique; other integers are skewed FKs.
+      if (def.primary_key) return static_cast<int64_t>(row);
+      return static_cast<int64_t>(rng->NextBounded(1 + row + 1000));
+    case ColumnType::kDate:
+      // Days in [1992-01-01, 1998-12-31]-ish, as day numbers.
+      return static_cast<int64_t>(8035 + rng->NextBounded(2557));
+    case ColumnType::kDecimal:
+      return rng->NextDouble(0.0, 100000.0);
+    case ColumnType::kChar:
+      return RandomString(rng, def.declared_width);
+    case ColumnType::kVarchar: {
+      // Average out at the declared (average) width.
+      const uint32_t w = def.declared_width;
+      const uint32_t lo = w / 2;
+      const uint32_t len = lo + static_cast<uint32_t>(rng->NextBounded(w + 1));
+      return RandomString(rng, std::min(len, 2 * w));
+    }
+  }
+  return int64_t{0};
+}
+
+}  // namespace
+
+Result<Table> GenerateTable(const Catalog& catalog, const std::string& name,
+                            const DataGenOptions& options) {
+  QCAP_ASSIGN_OR_RETURN(const TableDef* def, catalog.FindTable(name));
+  QCAP_ASSIGN_OR_RETURN(double scaled_rows, catalog.TableRows(name));
+  const auto rows = static_cast<uint64_t>(
+      std::max<double>(static_cast<double>(options.min_rows),
+                       scaled_rows * options.row_fraction));
+  Rng rng(options.seed ^ std::hash<std::string>{}(name));
+  Table table(*def);
+  std::vector<Value> row_values(def->columns.size());
+  for (uint64_t row = 0; row < rows; ++row) {
+    for (size_t c = 0; c < def->columns.size(); ++c) {
+      row_values[c] = RandomValue(def->columns[c], row, &rng);
+    }
+    QCAP_RETURN_NOT_OK(table.AppendRow(row_values));
+  }
+  return table;
+}
+
+Result<std::map<std::string, Table>> GenerateDatabase(
+    const Catalog& catalog, const DataGenOptions& options) {
+  std::map<std::string, Table> database;
+  for (const auto& def : catalog.tables()) {
+    QCAP_ASSIGN_OR_RETURN(Table table,
+                          GenerateTable(catalog, def.name, options));
+    database.emplace(def.name, std::move(table));
+  }
+  return database;
+}
+
+}  // namespace qcap::engine

@@ -1,0 +1,33 @@
+// Deterministic synthetic data generation for the column-store tables,
+// playing the role of dbgen/the benchmark loaders at reduced scale.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/table.h"
+
+namespace qcap::engine {
+
+/// Options for data generation.
+struct DataGenOptions {
+  /// Multiplier on the catalog's (scaled) row counts; generate small
+  /// samples of big schemas with e.g. 0.001.
+  double row_fraction = 1.0;
+  /// Generate at least this many rows per table (so tiny fractions still
+  /// produce measurable data).
+  uint64_t min_rows = 16;
+  uint64_t seed = 1;
+};
+
+/// Generates one table of the catalog.
+Result<Table> GenerateTable(const Catalog& catalog, const std::string& name,
+                            const DataGenOptions& options = {});
+
+/// Generates every table of the catalog.
+Result<std::map<std::string, Table>> GenerateDatabase(
+    const Catalog& catalog, const DataGenOptions& options = {});
+
+}  // namespace qcap::engine

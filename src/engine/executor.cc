@@ -1,0 +1,134 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "engine/datagen.h"
+
+namespace qcap::engine {
+
+namespace {
+
+uint64_t FoldColumn(const Column& column, uint64_t seed) {
+  uint64_t h = seed;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  for (int64_t v : column.ints()) mix(static_cast<uint64_t>(v));
+  for (double v : column.doubles()) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+  for (const auto& s : column.strings()) {
+    uint64_t partial = s.size();
+    for (size_t i = 0; i < s.size(); i += 8) {
+      uint64_t chunk = 0;
+      __builtin_memcpy(&chunk, s.data() + i, std::min<size_t>(8, s.size() - i));
+      partial = partial * 31 + chunk;
+    }
+    mix(partial);
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<ScanStats> ScanColumns(const Table& table,
+                              const std::vector<std::string>& columns) {
+  std::vector<const Column*> targets;
+  if (columns.empty()) {
+    for (size_t i = 0; i < table.NumColumns(); ++i) {
+      targets.push_back(&table.column(i));
+    }
+  } else {
+    for (const auto& name : columns) {
+      QCAP_ASSIGN_OR_RETURN(const Column* col, table.FindColumn(name));
+      targets.push_back(col);
+    }
+  }
+  ScanStats stats;
+  stats.rows = table.NumRows();
+  const auto start = std::chrono::steady_clock::now();
+  for (const Column* col : targets) {
+    stats.checksum = FoldColumn(*col, stats.checksum);
+    stats.bytes += col->PayloadBytes();
+  }
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+Result<uint64_t> CountIntBelow(const Table& table, const std::string& column,
+                               int64_t bound) {
+  QCAP_ASSIGN_OR_RETURN(const Column* col, table.FindColumn(column));
+  if (col->ints().empty() && col->size() != 0) {
+    return Status::InvalidArgument("column '" + column +
+                                   "' is not integer-typed");
+  }
+  uint64_t count = 0;
+  for (int64_t v : col->ints()) {
+    if (v < bound) ++count;
+  }
+  return count;
+}
+
+Result<double> SumDecimal(const Table& table, const std::string& column) {
+  QCAP_ASSIGN_OR_RETURN(const Column* col, table.FindColumn(column));
+  if (col->doubles().empty() && col->size() != 0) {
+    return Status::InvalidArgument("column '" + column +
+                                   "' is not decimal-typed");
+  }
+  double sum = 0.0;
+  for (double v : col->doubles()) sum += v;
+  return sum;
+}
+
+Result<CalibrationReport> CalibrateCostModel(const Catalog& catalog,
+                                             double row_fraction,
+                                             double reference_cost_seconds,
+                                             double reference_bytes) {
+  if (row_fraction <= 0.0 || reference_cost_seconds <= 0.0 ||
+      reference_bytes <= 0.0) {
+    return Status::InvalidArgument("calibration inputs must be positive");
+  }
+  DataGenOptions options;
+  options.row_fraction = row_fraction;
+  options.min_rows = 1024;
+  QCAP_ASSIGN_OR_RETURN(auto database, GenerateDatabase(catalog, options));
+
+  // Measure aggregated scan throughput over the whole sample; repeat the
+  // pass a few times and keep the best (cold caches on the first pass).
+  double best_rate = 0.0;
+  for (int pass = 0; pass < 3; ++pass) {
+    uint64_t bytes = 0;
+    double seconds = 0.0;
+    for (const auto& [name, table] : database) {
+      QCAP_ASSIGN_OR_RETURN(ScanStats stats, ScanColumns(table));
+      bytes += stats.bytes;
+      seconds += stats.seconds;
+    }
+    if (seconds > 0.0) {
+      best_rate = std::max(best_rate, static_cast<double>(bytes) / seconds);
+    }
+  }
+  if (best_rate <= 0.0) {
+    return Status::Internal("scan measurement produced no timing");
+  }
+
+  CalibrationReport report;
+  report.scan_bytes_per_second = best_rate;
+  // How much of the reference query's measured cost is explained by pure
+  // column scanning at the measured rate? The remainder is CPU (joins,
+  // aggregation, tuple overhead) -> that split is the io_fraction.
+  const double scan_seconds = reference_bytes / best_rate;
+  report.suggested_io_fraction =
+      std::clamp(scan_seconds / reference_cost_seconds, 0.05, 0.95);
+  report.per_query_overhead_seconds =
+      reference_cost_seconds * (1.0 - report.suggested_io_fraction);
+  return report;
+}
+
+}  // namespace qcap::engine

@@ -1,0 +1,66 @@
+// Scan micro-executor and cost-model calibration.
+//
+// Executes real column scans over generated data, measures the achieved
+// bytes-per-second, and derives the service-time model's scan term from
+// measurement instead of assumption (the substitution for profiling the
+// paper's PostgreSQL/MySQL backends).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cost_model.h"
+#include "engine/table.h"
+
+namespace qcap::engine {
+
+/// Result of one measured scan.
+struct ScanStats {
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  double seconds = 0.0;
+  /// Fold of the scanned values (prevents the scan from being optimized
+  /// away; also usable as a content checksum in tests).
+  uint64_t checksum = 0;
+
+  double bytes_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(bytes) / seconds : 0.0;
+  }
+};
+
+/// Scans the named columns of \p table once (all columns if empty),
+/// folding every value into a checksum.
+Result<ScanStats> ScanColumns(const Table& table,
+                              const std::vector<std::string>& columns = {});
+
+/// Counts rows of \p column whose integer value is below \p bound
+/// (kInt32/kInt64/kDate columns only).
+Result<uint64_t> CountIntBelow(const Table& table, const std::string& column,
+                               int64_t bound);
+
+/// Sums a decimal column.
+Result<double> SumDecimal(const Table& table, const std::string& column);
+
+/// Calibration outcome.
+struct CalibrationReport {
+  /// Measured in-memory columnar scan rate.
+  double scan_bytes_per_second = 0.0;
+  /// Seconds of fixed per-query overhead assumed by the model.
+  double per_query_overhead_seconds = 0.0;
+  /// io_fraction derived for a query of \p reference_bytes at the measured
+  /// rate against the reference query cost.
+  double suggested_io_fraction = 0.0;
+};
+
+/// Generates a sample of \p catalog (at \p row_fraction of its rows),
+/// scans it, and derives cost-model parameters. \p reference_cost_seconds
+/// and \p reference_bytes describe a representative query of the workload
+/// (e.g. TPC-H Q1: ~12 s over the full lineitem width at SF 1).
+Result<CalibrationReport> CalibrateCostModel(const Catalog& catalog,
+                                             double row_fraction,
+                                             double reference_cost_seconds,
+                                             double reference_bytes);
+
+}  // namespace qcap::engine

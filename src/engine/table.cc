@@ -1,0 +1,121 @@
+#include "engine/table.h"
+
+namespace qcap::engine {
+
+namespace {
+
+enum class Storage { kInt, kDouble, kString };
+
+Storage StorageOf(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+    case ColumnType::kInt64:
+    case ColumnType::kDate:
+      return Storage::kInt;
+    case ColumnType::kDecimal:
+      return Storage::kDouble;
+    case ColumnType::kChar:
+    case ColumnType::kVarchar:
+      return Storage::kString;
+  }
+  return Storage::kInt;
+}
+
+}  // namespace
+
+Column::Column(ColumnDef def) : def_(std::move(def)) {}
+
+size_t Column::size() const {
+  switch (StorageOf(def_.type)) {
+    case Storage::kInt: return ints_.size();
+    case Storage::kDouble: return doubles_.size();
+    case Storage::kString: return strings_.size();
+  }
+  return 0;
+}
+
+Status Column::Append(const Value& value) {
+  switch (StorageOf(def_.type)) {
+    case Storage::kInt:
+      if (!std::holds_alternative<int64_t>(value)) {
+        return Status::InvalidArgument("column '" + def_.name +
+                                       "' expects an integer value");
+      }
+      ints_.push_back(std::get<int64_t>(value));
+      return Status::OK();
+    case Storage::kDouble:
+      if (!std::holds_alternative<double>(value)) {
+        return Status::InvalidArgument("column '" + def_.name +
+                                       "' expects a decimal value");
+      }
+      doubles_.push_back(std::get<double>(value));
+      return Status::OK();
+    case Storage::kString:
+      if (!std::holds_alternative<std::string>(value)) {
+        return Status::InvalidArgument("column '" + def_.name +
+                                       "' expects a string value");
+      }
+      strings_.push_back(std::get<std::string>(value));
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Value Column::Get(size_t i) const {
+  switch (StorageOf(def_.type)) {
+    case Storage::kInt: return ints_[i];
+    case Storage::kDouble: return doubles_[i];
+    case Storage::kString: return strings_[i];
+  }
+  return int64_t{0};
+}
+
+uint64_t Column::PayloadBytes() const {
+  switch (StorageOf(def_.type)) {
+    case Storage::kInt:
+      return ints_.size() * def_.width();
+    case Storage::kDouble:
+      return doubles_.size() * 8;
+    case Storage::kString: {
+      uint64_t total = 0;
+      for (const auto& s : strings_) total += s.size();
+      return total;
+    }
+  }
+  return 0;
+}
+
+Table::Table(TableDef def) : def_(std::move(def)) {
+  columns_.reserve(def_.columns.size());
+  for (const auto& col : def_.columns) columns_.emplace_back(col);
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table '" +
+        def_.name + "' has " + std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    QCAP_RETURN_NOT_OK(columns_[i].Append(row[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<const Column*> Table::FindColumn(const std::string& name) const {
+  const int idx = def_.ColumnIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + name + "' in table '" +
+                            def_.name + "'");
+  }
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+uint64_t Table::PayloadBytes() const {
+  uint64_t total = 0;
+  for (const auto& col : columns_) total += col.PayloadBytes();
+  return total;
+}
+
+}  // namespace qcap::engine

@@ -1,0 +1,77 @@
+// In-memory column-store tables: the physical substrate behind the
+// catalog's size accounting. Generated data is scanned by the calibrator
+// (engine/executor.h) to ground the simulator's cost model in measured
+// behaviour rather than assumed constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+
+namespace qcap::engine {
+
+/// One cell value.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// \brief Typed columnar storage for one column.
+class Column {
+ public:
+  explicit Column(ColumnDef def);
+
+  const ColumnDef& def() const { return def_; }
+  size_t size() const;
+
+  /// Appends a value; its alternative must match the column type
+  /// (int64 for integer/date columns, double for decimals, string for
+  /// char/varchar).
+  Status Append(const Value& value);
+
+  /// Reads row \p i back as a Value.
+  Value Get(size_t i) const;
+
+  /// Raw typed access for scans (empty when the type does not match).
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Bytes of payload stored (fixed widths for numerics, actual lengths
+  /// for strings).
+  uint64_t PayloadBytes() const;
+
+ private:
+  ColumnDef def_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+/// \brief A relation: a set of equally long columns.
+class Table {
+ public:
+  explicit Table(TableDef def);
+
+  const TableDef& def() const { return def_; }
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Appends one row; the value count must equal the column count.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Column by index / name.
+  const Column& column(size_t i) const { return columns_[i]; }
+  Result<const Column*> FindColumn(const std::string& name) const;
+
+  /// Total payload bytes across all columns.
+  uint64_t PayloadBytes() const;
+
+ private:
+  TableDef def_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace qcap::engine

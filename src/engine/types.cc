@@ -1,0 +1,30 @@
+#include "engine/types.h"
+
+namespace qcap::engine {
+
+uint32_t TypeWidth(ColumnType type, uint32_t declared_width) {
+  switch (type) {
+    case ColumnType::kInt32: return 4;
+    case ColumnType::kInt64: return 8;
+    case ColumnType::kDecimal: return 8;
+    case ColumnType::kDate: return 4;
+    case ColumnType::kChar: return declared_width;
+    case ColumnType::kVarchar: return declared_width;
+  }
+  return 8;
+}
+
+std::string TypeName(ColumnType type, uint32_t declared_width) {
+  switch (type) {
+    case ColumnType::kInt32: return "int32";
+    case ColumnType::kInt64: return "int64";
+    case ColumnType::kDecimal: return "decimal";
+    case ColumnType::kDate: return "date";
+    case ColumnType::kChar: return "char(" + std::to_string(declared_width) + ")";
+    case ColumnType::kVarchar:
+      return "varchar(" + std::to_string(declared_width) + ")";
+  }
+  return "unknown";
+}
+
+}  // namespace qcap::engine

@@ -1,0 +1,31 @@
+// Column type metadata for the mini storage engine.
+//
+// The engine does not execute SQL; it models the physical properties the
+// allocation algorithms and the cluster simulator need: per-column byte
+// widths, per-table row counts, and derived fragment sizes at table,
+// column, and horizontal granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qcap::engine {
+
+/// Physical column types with fixed or estimated average widths.
+enum class ColumnType {
+  kInt32,
+  kInt64,
+  kDecimal,    ///< Fixed-point decimal, stored as 8 bytes.
+  kDate,       ///< Days since epoch, 4 bytes.
+  kChar,       ///< Fixed-width string; width given per column.
+  kVarchar     ///< Variable-width string; width is the average width.
+};
+
+/// Returns the storage width in bytes for \p type; for kChar/kVarchar the
+/// declared/average width \p declared_width is used.
+uint32_t TypeWidth(ColumnType type, uint32_t declared_width);
+
+/// Human-readable type name, e.g. "int64" or "varchar(55)".
+std::string TypeName(ColumnType type, uint32_t declared_width);
+
+}  // namespace qcap::engine

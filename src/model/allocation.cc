@@ -1,0 +1,140 @@
+#include "model/allocation.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace qcap {
+
+Allocation::Allocation(size_t num_backends, size_t num_fragments,
+                       size_t num_reads, size_t num_updates)
+    : num_backends_(num_backends),
+      num_fragments_(num_fragments),
+      num_reads_(num_reads),
+      num_updates_(num_updates),
+      placed_(num_backends * num_fragments, 0),
+      read_assign_(num_backends * num_reads, 0.0),
+      update_assign_(num_backends * num_updates, 0.0) {}
+
+void Allocation::Place(size_t b, FragmentId f) {
+  assert(b < num_backends_ && f < num_fragments_);
+  placed_[b * num_fragments_ + f] = 1;
+}
+
+void Allocation::PlaceSet(size_t b, const FragmentSet& set) {
+  for (FragmentId f : set) Place(b, f);
+}
+
+bool Allocation::IsPlaced(size_t b, FragmentId f) const {
+  assert(b < num_backends_ && f < num_fragments_);
+  return placed_[b * num_fragments_ + f] != 0;
+}
+
+FragmentSet Allocation::BackendFragments(size_t b) const {
+  FragmentSet out;
+  for (FragmentId f = 0; f < num_fragments_; ++f) {
+    if (IsPlaced(b, f)) out.push_back(f);
+  }
+  return out;
+}
+
+bool Allocation::HoldsAll(size_t b, const FragmentSet& set) const {
+  for (FragmentId f : set) {
+    if (!IsPlaced(b, f)) return false;
+  }
+  return true;
+}
+
+size_t Allocation::ReplicaCount(FragmentId f) const {
+  size_t count = 0;
+  for (size_t b = 0; b < num_backends_; ++b) {
+    if (IsPlaced(b, f)) ++count;
+  }
+  return count;
+}
+
+double Allocation::BackendBytes(size_t b, const FragmentCatalog& catalog) const {
+  double total = 0.0;
+  for (FragmentId f = 0; f < num_fragments_; ++f) {
+    if (IsPlaced(b, f)) total += catalog.Get(f).size_bytes;
+  }
+  return total;
+}
+
+double Allocation::read_assign(size_t b, size_t read_class) const {
+  assert(b < num_backends_ && read_class < num_reads_);
+  return read_assign_[b * num_reads_ + read_class];
+}
+
+void Allocation::set_read_assign(size_t b, size_t read_class, double value) {
+  assert(b < num_backends_ && read_class < num_reads_);
+  read_assign_[b * num_reads_ + read_class] = value;
+}
+
+void Allocation::add_read_assign(size_t b, size_t read_class, double delta) {
+  assert(b < num_backends_ && read_class < num_reads_);
+  read_assign_[b * num_reads_ + read_class] += delta;
+}
+
+double Allocation::update_assign(size_t b, size_t update_class) const {
+  assert(b < num_backends_ && update_class < num_updates_);
+  return update_assign_[b * num_updates_ + update_class];
+}
+
+void Allocation::set_update_assign(size_t b, size_t update_class, double value) {
+  assert(b < num_backends_ && update_class < num_updates_);
+  update_assign_[b * num_updates_ + update_class] = value;
+}
+
+double Allocation::AssignedLoad(size_t b) const {
+  return AssignedReadLoad(b) + AssignedUpdateLoad(b);
+}
+
+double Allocation::AssignedReadLoad(size_t b) const {
+  double total = 0.0;
+  for (size_t r = 0; r < num_reads_; ++r) total += read_assign(b, r);
+  return total;
+}
+
+double Allocation::AssignedUpdateLoad(size_t b) const {
+  double total = 0.0;
+  for (size_t u = 0; u < num_updates_; ++u) total += update_assign(b, u);
+  return total;
+}
+
+double Allocation::TotalReadAssign(size_t read_class) const {
+  double total = 0.0;
+  for (size_t b = 0; b < num_backends_; ++b) total += read_assign(b, read_class);
+  return total;
+}
+
+std::string Allocation::ToString(const Classification& cls) const {
+  std::string out = "Allocation over " + std::to_string(num_backends_) +
+                    " backends\n";
+  for (size_t b = 0; b < num_backends_; ++b) {
+    out += "  B" + std::to_string(b + 1) + ": load=" +
+           FormatPercent(AssignedLoad(b)) + " [";
+    std::vector<std::string> parts;
+    for (size_t r = 0; r < num_reads_; ++r) {
+      if (read_assign(b, r) > 0.0) {
+        parts.push_back(cls.reads[r].label + "=" +
+                        FormatPercent(read_assign(b, r)));
+      }
+    }
+    for (size_t u = 0; u < num_updates_; ++u) {
+      if (update_assign(b, u) > 0.0) {
+        parts.push_back(cls.updates[u].label + "=" +
+                        FormatPercent(update_assign(b, u)));
+      }
+    }
+    out += Join(parts, " ") + "] fragments={";
+    parts.clear();
+    for (FragmentId f : BackendFragments(b)) {
+      parts.push_back(cls.catalog.Get(f).name);
+    }
+    out += Join(parts, ",") + "}\n";
+  }
+  return out;
+}
+
+}  // namespace qcap

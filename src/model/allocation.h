@@ -1,0 +1,81 @@
+// The allocation data structure: which fragments live on which backend, and
+// how much of each query class's weight each backend handles (the assign
+// function of Eq. 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/fragment.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// \brief A partial replication: per-backend fragment placement plus the
+/// per-class load assignment matrices LQ and LU (Appendix B notation).
+class Allocation {
+ public:
+  Allocation() = default;
+
+  /// Creates an empty allocation for \p num_backends backends over
+  /// \p num_fragments fragments with \p num_reads read classes and
+  /// \p num_updates update classes.
+  Allocation(size_t num_backends, size_t num_fragments, size_t num_reads,
+             size_t num_updates);
+
+  size_t num_backends() const { return num_backends_; }
+  size_t num_fragments() const { return num_fragments_; }
+  size_t num_reads() const { return num_reads_; }
+  size_t num_updates() const { return num_updates_; }
+
+  // --- Fragment placement (allocation matrix A) ---
+
+  /// Places fragment \p f on backend \p b (idempotent).
+  void Place(size_t b, FragmentId f);
+  /// Places every fragment of \p set on backend \p b.
+  void PlaceSet(size_t b, const FragmentSet& set);
+  /// True iff fragment \p f is on backend \p b.
+  bool IsPlaced(size_t b, FragmentId f) const;
+  /// fragments(B): the sorted fragment set of backend \p b.
+  FragmentSet BackendFragments(size_t b) const;
+  /// True iff all fragments of \p set are on backend \p b.
+  bool HoldsAll(size_t b, const FragmentSet& set) const;
+  /// Number of backends holding fragment \p f.
+  size_t ReplicaCount(FragmentId f) const;
+  /// Total bytes stored on backend \p b according to \p catalog.
+  double BackendBytes(size_t b, const FragmentCatalog& catalog) const;
+
+  // --- Load assignment (matrices LQ / LU) ---
+
+  double read_assign(size_t b, size_t read_class) const;
+  void set_read_assign(size_t b, size_t read_class, double value);
+  void add_read_assign(size_t b, size_t read_class, double delta);
+
+  double update_assign(size_t b, size_t update_class) const;
+  void set_update_assign(size_t b, size_t update_class, double value);
+
+  /// assignedLoad(B) (Eq. 14): total read + update weight on backend \p b.
+  double AssignedLoad(size_t b) const;
+  /// Total read weight assigned to backend \p b.
+  double AssignedReadLoad(size_t b) const;
+  /// Total update weight assigned to backend \p b.
+  double AssignedUpdateLoad(size_t b) const;
+  /// Σ_b read_assign(b, read_class).
+  double TotalReadAssign(size_t read_class) const;
+
+  /// Renders a compact table of placements and assignments for debugging.
+  std::string ToString(const Classification& cls) const;
+
+ private:
+  size_t num_backends_ = 0;
+  size_t num_fragments_ = 0;
+  size_t num_reads_ = 0;
+  size_t num_updates_ = 0;
+  std::vector<uint8_t> placed_;        // num_backends x num_fragments
+  std::vector<double> read_assign_;    // num_backends x num_reads
+  std::vector<double> update_assign_;  // num_backends x num_updates
+};
+
+}  // namespace qcap

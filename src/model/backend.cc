@@ -1,0 +1,56 @@
+#include "model/backend.h"
+
+#include <cmath>
+
+namespace qcap {
+
+std::vector<BackendSpec> HomogeneousBackends(size_t n) {
+  std::vector<BackendSpec> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(BackendSpec{1.0 / static_cast<double>(n),
+                              "B" + std::to_string(i + 1)});
+  }
+  return out;
+}
+
+Result<std::vector<BackendSpec>> HeterogeneousBackends(
+    const std::vector<double>& shares) {
+  if (shares.empty()) {
+    return Status::InvalidArgument("at least one backend share required");
+  }
+  double total = 0.0;
+  for (double s : shares) {
+    if (s <= 0.0) {
+      return Status::InvalidArgument("backend shares must be positive");
+    }
+    total += s;
+  }
+  std::vector<BackendSpec> out;
+  out.reserve(shares.size());
+  for (size_t i = 0; i < shares.size(); ++i) {
+    out.push_back(BackendSpec{shares[i] / total, "B" + std::to_string(i + 1)});
+  }
+  return out;
+}
+
+Status ValidateBackends(const std::vector<BackendSpec>& backends) {
+  if (backends.empty()) {
+    return Status::InvalidArgument("no backends");
+  }
+  double total = 0.0;
+  for (const auto& b : backends) {
+    if (b.relative_load <= 0.0) {
+      return Status::InvalidArgument("backend '" + b.name +
+                                     "' has non-positive load");
+    }
+    total += b.relative_load;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("backend loads sum to " +
+                                   std::to_string(total) + ", expected 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace qcap

@@ -1,0 +1,31 @@
+// Backend specifications: processing shares of the cluster nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qcap {
+
+/// One backend DBMS in the cluster, described by its relative query
+/// processing performance (Eq. 7: loads over all backends sum to 1).
+struct BackendSpec {
+  /// Relative performance share in (0, 1].
+  double relative_load = 0.0;
+  /// Optional display name, e.g. "B1".
+  std::string name;
+};
+
+/// Creates \p n equal backends ("B1".."Bn") with load 1/n each.
+std::vector<BackendSpec> HomogeneousBackends(size_t n);
+
+/// Creates backends from raw performance shares; shares are normalized to
+/// sum to 1. Fails if empty or any share is <= 0.
+Result<std::vector<BackendSpec>> HeterogeneousBackends(
+    const std::vector<double>& shares);
+
+/// Checks loads are positive and sum to 1 (Eq. 7).
+Status ValidateBackends(const std::vector<BackendSpec>& backends);
+
+}  // namespace qcap

@@ -1,0 +1,96 @@
+#include "model/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace qcap {
+
+double Scale(const Allocation& alloc, const std::vector<BackendSpec>& backends) {
+  double scale = 1.0;
+  for (size_t b = 0; b < alloc.num_backends(); ++b) {
+    scale = std::max(scale, alloc.AssignedLoad(b) / backends[b].relative_load);
+  }
+  return scale;
+}
+
+double Speedup(const Allocation& alloc, const std::vector<BackendSpec>& backends) {
+  return static_cast<double>(alloc.num_backends()) / Scale(alloc, backends);
+}
+
+double TheoreticalMaxSpeedup(const Classification& cls) {
+  double max_update_weight = 0.0;
+  auto consider = [&](const QueryClass& c) {
+    max_update_weight = std::max(max_update_weight, cls.OverlappingUpdateWeight(c));
+  };
+  for (const auto& c : cls.reads) consider(c);
+  for (const auto& c : cls.updates) consider(c);
+  if (max_update_weight <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / max_update_weight;
+}
+
+double AmdahlFullReplicationSpeedup(const Classification& cls, size_t nodes) {
+  double serial = 0.0;
+  for (const auto& u : cls.updates) serial += u.weight;
+  const double parallel = 1.0 - serial;
+  return 1.0 / (parallel / static_cast<double>(nodes) + serial);
+}
+
+double DegreeOfReplication(const Allocation& alloc,
+                           const FragmentCatalog& catalog) {
+  const double db_bytes = catalog.TotalBytes();
+  if (db_bytes <= 0.0) return 0.0;
+  double stored = 0.0;
+  for (size_t b = 0; b < alloc.num_backends(); ++b) {
+    stored += alloc.BackendBytes(b, catalog);
+  }
+  return stored / db_bytes;
+}
+
+double BalanceDeviation(const Allocation& alloc,
+                        const std::vector<BackendSpec>& backends) {
+  const size_t n = alloc.num_backends();
+  if (n == 0) return 0.0;
+  std::vector<double> normalized(n);
+  double sum = 0.0;
+  for (size_t b = 0; b < n; ++b) {
+    normalized[b] = alloc.AssignedLoad(b) / backends[b].relative_load;
+    sum += normalized[b];
+  }
+  const double avg = sum / static_cast<double>(n);
+  if (avg <= 0.0) return 0.0;
+  double max_dev = 0.0;
+  for (double v : normalized) {
+    max_dev = std::max(max_dev, std::abs(v - avg) / avg);
+  }
+  return max_dev;
+}
+
+std::vector<size_t> ReplicationHistogram(const Allocation& alloc) {
+  std::vector<size_t> hist(alloc.num_backends() + 1, 0);
+  for (FragmentId f = 0; f < alloc.num_fragments(); ++f) {
+    hist[alloc.ReplicaCount(f)]++;
+  }
+  return hist;
+}
+
+std::vector<size_t> TableReplicationHistogram(const Allocation& alloc,
+                                              const FragmentCatalog& catalog) {
+  std::map<std::string, size_t> per_table;
+  for (FragmentId f = 0; f < alloc.num_fragments(); ++f) {
+    const auto& frag = catalog.Get(f);
+    size_t replicas = alloc.ReplicaCount(f);
+    auto [it, inserted] = per_table.try_emplace(frag.table, replicas);
+    if (!inserted) it->second = std::max(it->second, replicas);
+  }
+  std::vector<size_t> hist(alloc.num_backends() + 1, 0);
+  for (const auto& [table, replicas] : per_table) {
+    hist[replicas]++;
+  }
+  return hist;
+}
+
+}  // namespace qcap

@@ -1,0 +1,51 @@
+// Analytical metrics of the CDBS processing model (Sections 2, 3.2.1):
+// scale, speedup, theoretical speedup bounds, degree of replication,
+// balance deviation, and replication histograms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/allocation.h"
+#include "model/backend.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// scale (Eq. 15): max over backends of assignedLoad(B) / load(B), floored
+/// at 1 (an allocation can never beat perfectly balanced).
+double Scale(const Allocation& alloc, const std::vector<BackendSpec>& backends);
+
+/// Speedup of an allocation (Eq. 18/19): |B| / scale. In a homogeneous
+/// cluster this equals 1 / scaledLoad of the most loaded backend.
+double Speedup(const Allocation& alloc, const std::vector<BackendSpec>& backends);
+
+/// Theoretical maximum speedup of a workload (Eq. 17):
+/// 1 / max_C Σ_{CU ∈ updates(C)} weight(CU). Returns +infinity for
+/// read-only workloads (no update class overlaps anything).
+double TheoreticalMaxSpeedup(const Classification& cls);
+
+/// Amdahl prediction for full replication on \p nodes backends (Eq. 1):
+/// parallel fraction = total read weight, serial = total update weight.
+double AmdahlFullReplicationSpeedup(const Classification& cls, size_t nodes);
+
+/// Degree of replication r (Eq. 28): total stored bytes over database bytes.
+/// Fragments never placed contribute 0 to the numerator.
+double DegreeOfReplication(const Allocation& alloc, const FragmentCatalog& catalog);
+
+/// Balance deviation (Fig. 4j): max over backends of
+/// |assignedLoad/load - avg| / avg where avg is the mean normalized load.
+/// 0 = perfectly balanced; ~1 when one backend is idle.
+double BalanceDeviation(const Allocation& alloc,
+                        const std::vector<BackendSpec>& backends);
+
+/// Replica-count histogram (Figs. 4k/4l): result[k] = number of fragments
+/// stored on exactly k backends, for k in [0, num_backends].
+std::vector<size_t> ReplicationHistogram(const Allocation& alloc);
+
+/// Replica-count histogram aggregated to whole tables: a table's replica
+/// count is the maximum replica count over its fragments.
+std::vector<size_t> TableReplicationHistogram(const Allocation& alloc,
+                                              const FragmentCatalog& catalog);
+
+}  // namespace qcap

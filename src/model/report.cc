@@ -1,0 +1,91 @@
+#include "model/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "model/metrics.h"
+
+namespace qcap {
+
+namespace {
+
+void Append(std::string* out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  *out += buffer;
+}
+
+}  // namespace
+
+std::string RenderClassificationReport(const Classification& cls) {
+  std::string out = "# Classification\n\n";
+  Append(&out, "%zu fragments, %zu read classes, %zu update classes, %s\n\n",
+         cls.catalog.size(), cls.reads.size(), cls.updates.size(),
+         FormatBytes(cls.catalog.TotalBytes()).c_str());
+  Append(&out, "%-8s %-6s %8s %10s %12s %10s\n", "class", "kind", "weight",
+         "fragments", "bytes", "upd-drag");
+  auto row = [&](const QueryClass& c) {
+    Append(&out, "%-8s %-6s %8s %10zu %12s %10s\n", c.label.c_str(),
+           c.is_update ? "update" : "read", FormatPercent(c.weight, 1).c_str(),
+           c.fragments.size(),
+           FormatBytes(cls.catalog.SetBytes(c.fragments)).c_str(),
+           FormatPercent(cls.OverlappingUpdateWeight(c), 1).c_str());
+  };
+  for (const auto& c : cls.reads) row(c);
+  for (const auto& c : cls.updates) row(c);
+  return out;
+}
+
+std::string RenderAllocationReport(const Classification& cls,
+                                   const Allocation& alloc,
+                                   const std::vector<BackendSpec>& backends) {
+  std::string out = "# Allocation\n\n";
+  Append(&out, "scale %.3f | model speedup %.2f of %zu | replication %.2fx | "
+               "balance deviation %.2f\n\n",
+         Scale(alloc, backends), Speedup(alloc, backends),
+         alloc.num_backends(), DegreeOfReplication(alloc, cls.catalog),
+         BalanceDeviation(alloc, backends));
+
+  for (size_t b = 0; b < alloc.num_backends(); ++b) {
+    Append(&out, "## %s  (capacity %s)\n",
+           backends[b].name.empty() ? ("B" + std::to_string(b + 1)).c_str()
+                                    : backends[b].name.c_str(),
+           FormatPercent(backends[b].relative_load, 1).c_str());
+    Append(&out, "load %s (reads %s, updates %s), stores %s in %zu fragments\n",
+           FormatPercent(alloc.AssignedLoad(b), 1).c_str(),
+           FormatPercent(alloc.AssignedReadLoad(b), 1).c_str(),
+           FormatPercent(alloc.AssignedUpdateLoad(b), 1).c_str(),
+           FormatBytes(alloc.BackendBytes(b, cls.catalog)).c_str(),
+           alloc.BackendFragments(b).size());
+    std::vector<std::string> parts;
+    for (size_t r = 0; r < cls.reads.size(); ++r) {
+      if (alloc.read_assign(b, r) > 0.0) {
+        parts.push_back(cls.reads[r].label + " " +
+                        FormatPercent(alloc.read_assign(b, r), 1));
+      }
+    }
+    for (size_t u = 0; u < cls.updates.size(); ++u) {
+      if (alloc.update_assign(b, u) > 0.0) {
+        parts.push_back(cls.updates[u].label + " " +
+                        FormatPercent(alloc.update_assign(b, u), 1));
+      }
+    }
+    Append(&out, "classes: %s\n\n",
+           parts.empty() ? "(none)" : Join(parts, ", ").c_str());
+  }
+
+  out += "## Replication histogram\n";
+  const auto hist = ReplicationHistogram(alloc);
+  for (size_t k = 0; k < hist.size(); ++k) {
+    if (hist[k] == 0) continue;
+    Append(&out, "%zu replica%s: %zu fragment%s\n", k, k == 1 ? "" : "s",
+           hist[k], hist[k] == 1 ? "" : "s");
+  }
+  return out;
+}
+
+}  // namespace qcap

@@ -1,0 +1,25 @@
+// Human-readable reports of classifications and allocations, for operators
+// inspecting what the allocator decided and why.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/allocation.h"
+#include "model/backend.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// Renders the classification: per-class label, kind, weight, fragment
+/// count and bytes, and the overlapping update weight.
+std::string RenderClassificationReport(const Classification& cls);
+
+/// Renders the allocation: headline metrics (scale, speedup, degree of
+/// replication, balance), one section per backend (load split, stored
+/// bytes, fragments), and the replica histogram.
+std::string RenderAllocationReport(const Classification& cls,
+                                   const Allocation& alloc,
+                                   const std::vector<BackendSpec>& backends);
+
+}  // namespace qcap

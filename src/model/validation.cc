@@ -1,0 +1,127 @@
+#include "model/validation.h"
+
+#include <cmath>
+
+namespace qcap {
+
+Status ValidateAllocation(const Classification& cls, const Allocation& alloc,
+                          const std::vector<BackendSpec>& backends,
+                          const ValidationOptions& options) {
+  QCAP_RETURN_NOT_OK(ValidateBackends(backends));
+  if (alloc.num_backends() != backends.size()) {
+    return Status::InvalidArgument("allocation has " +
+                                   std::to_string(alloc.num_backends()) +
+                                   " backends, specs have " +
+                                   std::to_string(backends.size()));
+  }
+  if (alloc.num_fragments() != cls.catalog.size() ||
+      alloc.num_reads() != cls.reads.size() ||
+      alloc.num_updates() != cls.updates.size()) {
+    return Status::InvalidArgument(
+        "allocation dimensions do not match classification");
+  }
+
+  const double eps = options.epsilon;
+
+  // Eq. 8 + Eq. 9: read classes fully assigned, only to backends holding
+  // their data.
+  for (size_t r = 0; r < cls.reads.size(); ++r) {
+    const QueryClass& c = cls.reads[r];
+    double assigned = 0.0;
+    for (size_t b = 0; b < alloc.num_backends(); ++b) {
+      const double a = alloc.read_assign(b, r);
+      if (a < -eps) {
+        return Status::InvalidArgument("negative assignment of " + c.label);
+      }
+      if (a > eps && !alloc.HoldsAll(b, c.fragments)) {
+        return Status::InvalidArgument(
+            "read class " + c.label + " assigned to backend " +
+            std::to_string(b + 1) + " which lacks referenced fragments");
+      }
+      assigned += a;
+    }
+    if (std::abs(assigned - c.weight) > eps) {
+      return Status::InvalidArgument(
+          "read class " + c.label + " assigned " + std::to_string(assigned) +
+          " of weight " + std::to_string(c.weight));
+    }
+  }
+
+  // Eq. 10 + Eq. 11: update classes pinned to every backend with
+  // overlapping data; at least one replica.
+  for (size_t u = 0; u < cls.updates.size(); ++u) {
+    const QueryClass& c = cls.updates[u];
+    size_t replicas = 0;
+    for (size_t b = 0; b < alloc.num_backends(); ++b) {
+      const double a = alloc.update_assign(b, u);
+      const bool overlaps = Intersects(c.fragments, alloc.BackendFragments(b));
+      if (overlaps) {
+        if (std::abs(a - c.weight) > eps) {
+          return Status::InvalidArgument(
+              "update class " + c.label + " must carry weight " +
+              std::to_string(c.weight) + " on backend " + std::to_string(b + 1) +
+              " (has " + std::to_string(a) + ")");
+        }
+        // ROWA execution requires the full referenced data, not only the
+        // overlapping part.
+        if (!alloc.HoldsAll(b, c.fragments)) {
+          return Status::InvalidArgument(
+              "backend " + std::to_string(b + 1) + " stores part of " +
+              c.label + "'s data but not all of it");
+        }
+        ++replicas;
+      } else if (a > eps) {
+        return Status::InvalidArgument(
+            "update class " + c.label + " assigned to backend " +
+            std::to_string(b + 1) + " without overlapping data");
+      }
+    }
+    if (replicas == 0) {
+      return Status::InvalidArgument("update class " + c.label +
+                                     " is not allocated anywhere");
+    }
+    if (options.k_safety > 0 &&
+        replicas < static_cast<size_t>(options.k_safety) + 1) {
+      return Status::InvalidArgument(
+          "update class " + c.label + " has " + std::to_string(replicas) +
+          " replicas, k-safety requires " +
+          std::to_string(options.k_safety + 1));
+    }
+  }
+
+  // k-safety for read classes (Eq. 47): the class must be *executable* on
+  // at least k+1 backends (all fragments present).
+  if (options.k_safety > 0) {
+    for (const auto& c : cls.reads) {
+      size_t capable = 0;
+      for (size_t b = 0; b < alloc.num_backends(); ++b) {
+        if (alloc.HoldsAll(b, c.fragments)) ++capable;
+      }
+      if (capable < static_cast<size_t>(options.k_safety) + 1) {
+        return Status::InvalidArgument(
+            "read class " + c.label + " executable on " +
+            std::to_string(capable) + " backends, k-safety requires " +
+            std::to_string(options.k_safety + 1));
+      }
+    }
+  }
+
+  // Data completeness (and Eq. 46 when k_safety > 0).
+  if (options.require_complete_data) {
+    const size_t min_replicas =
+        options.k_safety > 0 ? static_cast<size_t>(options.k_safety) + 1 : 1;
+    for (FragmentId f = 0; f < alloc.num_fragments(); ++f) {
+      const size_t replicas = alloc.ReplicaCount(f);
+      if (replicas < min_replicas) {
+        return Status::InvalidArgument(
+            "fragment '" + cls.catalog.Get(f).name + "' stored on " +
+            std::to_string(replicas) + " backends, required " +
+            std::to_string(min_replicas));
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace qcap

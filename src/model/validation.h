@@ -1,0 +1,39 @@
+// Validity checks for allocations (Eq. 8-11 and data completeness).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/allocation.h"
+#include "model/backend.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// Options for allocation validation.
+struct ValidationOptions {
+  /// Numerical tolerance for weight comparisons.
+  double epsilon = 1e-6;
+  /// Require every fragment (even ones unreferenced by any class) to be
+  /// stored on at least one backend, so the distributed database is
+  /// complete.
+  bool require_complete_data = true;
+  /// Require every query class (and every fragment) on at least k+1
+  /// backends (Appendix C, Eq. 46/47). 0 disables the k-safety check.
+  int k_safety = 0;
+};
+
+/// \brief Checks that \p alloc is a valid allocation of \p cls onto
+/// \p backends:
+///  - dimensions match;
+///  - assign(C,B) > 0 implies C ⊆ fragments(B)           (Eq. 8)
+///  - every read class is fully assigned: Σ_B = weight   (Eq. 9)
+///  - every update class is assigned with weight(C) to exactly the backends
+///    storing overlapping data, and to no others          (Eq. 10)
+///  - every update class is assigned at least once        (Eq. 11)
+///  - optionally: data completeness and k-safety          (Eq. 46/47)
+Status ValidateAllocation(const Classification& cls, const Allocation& alloc,
+                          const std::vector<BackendSpec>& backends,
+                          const ValidationOptions& options = {});
+
+}  // namespace qcap

@@ -1,0 +1,3 @@
+#include "physical/etl_cost.h"
+
+// Header-only model; this translation unit anchors the module in the build.

@@ -1,0 +1,74 @@
+#include "physical/physical_allocator.h"
+
+#include <algorithm>
+
+#include "solver/hungarian.h"
+
+namespace qcap {
+
+Result<TransitionPlan> PhysicalAllocator::Plan(
+    const Allocation& old_alloc, const Allocation& new_alloc,
+    const FragmentCatalog& catalog, bool needs_fragmentation) const {
+  if (old_alloc.num_fragments() != new_alloc.num_fragments() ||
+      new_alloc.num_fragments() != catalog.size()) {
+    return Status::InvalidArgument(
+        "old and new allocations must share one fragment catalog");
+  }
+  const size_t new_n = new_alloc.num_backends();
+  const size_t old_n = old_alloc.num_backends();
+  if (new_n == 0) {
+    return Status::InvalidArgument("new allocation has no backends");
+  }
+  const size_t n = std::max(new_n, old_n);
+
+  // Cached fragment sets.
+  std::vector<FragmentSet> new_frags(new_n), old_frags(old_n);
+  for (size_t v = 0; v < new_n; ++v) new_frags[v] = new_alloc.BackendFragments(v);
+  for (size_t u = 0; u < old_n; ++u) old_frags[u] = old_alloc.BackendFragments(u);
+
+  // Eq. 27: cost(v,u) = bytes of fragments backend v needs that node u
+  // lacks. Rows/columns beyond the real counts are empty virtual backends.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t u = 0; u < n; ++u) {
+      if (v >= new_n) {
+        cost[v][u] = 0.0;  // Virtual new backend: node u is decommissioned.
+      } else if (u >= old_n) {
+        cost[v][u] = catalog.SetBytes(new_frags[v]);  // Fresh node.
+      } else {
+        cost[v][u] = catalog.SetBytes(SetDifference(new_frags[v], old_frags[u]));
+      }
+    }
+  }
+
+  QCAP_ASSIGN_OR_RETURN(AssignmentResult matching, SolveAssignment(cost));
+
+  TransitionPlan plan;
+  plan.source_of.assign(new_n, -1);
+  plan.move_bytes.assign(new_n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    const size_t u = matching.assignment[v];
+    if (v < new_n) {
+      plan.source_of[v] = u < old_n ? static_cast<int>(u) : -1;
+      plan.move_bytes[v] = cost[v][u];
+      plan.total_bytes += cost[v][u];
+      plan.duration_seconds =
+          std::max(plan.duration_seconds,
+                   cost_model_.BackendSeconds(cost[v][u], needs_fragmentation));
+    } else if (u < old_n) {
+      plan.decommissioned.push_back(u);
+    }
+  }
+  std::sort(plan.decommissioned.begin(), plan.decommissioned.end());
+  return plan;
+}
+
+Result<TransitionPlan> PhysicalAllocator::InitialLoad(
+    const Allocation& new_alloc, const FragmentCatalog& catalog,
+    bool needs_fragmentation) const {
+  const Allocation empty(new_alloc.num_backends(), new_alloc.num_fragments(),
+                         new_alloc.num_reads(), new_alloc.num_updates());
+  return Plan(empty, new_alloc, catalog, needs_fragmentation);
+}
+
+}  // namespace qcap

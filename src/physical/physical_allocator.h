@@ -1,0 +1,59 @@
+// Physical allocation (Section 3.4): matching a newly computed allocation
+// onto the currently installed one with minimal data movement, using the
+// Hungarian method on the bipartite transfer-cost graph (Eq. 27).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/allocation.h"
+#include "physical/etl_cost.h"
+#include "workload/fragment.h"
+
+namespace qcap {
+
+/// A materialization plan: which physical node hosts which new backend, and
+/// what it costs.
+struct TransitionPlan {
+  /// For each new-allocation backend: index of the physical (old) node it
+  /// is mapped to, or -1 for a freshly provisioned node.
+  std::vector<int> source_of;
+  /// Physical nodes with no successor in the new allocation (scale-in).
+  std::vector<size_t> decommissioned;
+  /// Bytes each new backend must receive (fragments it lacks).
+  std::vector<double> move_bytes;
+  /// Σ move_bytes.
+  double total_bytes = 0.0;
+  /// Wall-clock estimate: backends load in parallel, so the duration is the
+  /// maximum per-backend ETL time.
+  double duration_seconds = 0.0;
+};
+
+/// \brief Plans cost-minimal materialization of allocations, including
+/// scale-out (new > old, padded with empty virtual sources) and scale-in
+/// (new < old, surplus nodes decommissioned).
+class PhysicalAllocator {
+ public:
+  explicit PhysicalAllocator(EtlCostModel cost_model = {})
+      : cost_model_(cost_model) {}
+
+  /// Plans the transition from \p old_alloc to \p new_alloc. Both must use
+  /// the same fragment catalog. \p needs_fragmentation selects whether the
+  /// prepare stage applies (true for partial replication).
+  Result<TransitionPlan> Plan(const Allocation& old_alloc,
+                              const Allocation& new_alloc,
+                              const FragmentCatalog& catalog,
+                              bool needs_fragmentation = true) const;
+
+  /// Plans loading \p new_alloc onto empty nodes (initial deployment).
+  Result<TransitionPlan> InitialLoad(const Allocation& new_alloc,
+                                     const FragmentCatalog& catalog,
+                                     bool needs_fragmentation = true) const;
+
+  const EtlCostModel& cost_model() const { return cost_model_; }
+
+ private:
+  EtlCostModel cost_model_;
+};
+
+}  // namespace qcap

@@ -1,0 +1,43 @@
+// Elastic scaling and allocation merging (Section 5).
+//
+// Scaling recomputes an allocation for the new cluster size and matches it
+// onto the existing nodes (empty virtual backends pad the smaller side, as
+// in the paper). Merging combines per-segment allocations of a diurnal
+// workload into one placement that serves every segment without
+// reallocation.
+#pragma once
+
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "physical/physical_allocator.h"
+
+namespace qcap {
+
+/// Result of planning a cluster resize.
+struct ElasticPlan {
+  Allocation new_allocation;
+  TransitionPlan transition;
+};
+
+/// Recomputes the allocation of \p cls for \p target_backends using
+/// \p allocator and plans the cost-minimal migration from \p current.
+Result<ElasticPlan> PlanElasticTransition(
+    const Classification& cls, const Allocation& current,
+    const std::vector<BackendSpec>& target_backends, Allocator* allocator,
+    const PhysicalAllocator& physical);
+
+/// Reorders the backends of \p alloc by \p perm (new index b hosts what was
+/// backend perm[b]).
+Allocation PermuteBackends(const Allocation& alloc,
+                           const std::vector<size_t>& perm);
+
+/// Merges per-segment allocations (all over the same fragment catalog and
+/// backend count) into a single placement: segment i's backends are aligned
+/// to segment 0's via min-transfer matching, then placements are unioned.
+/// Read/update assignments of the result are taken from segment 0; the
+/// runtime scheduler re-balances within the (larger) merged placement.
+Result<Allocation> MergeAllocations(const std::vector<Allocation>& segments,
+                                    const FragmentCatalog& catalog);
+
+}  // namespace qcap

@@ -1,0 +1,219 @@
+#include "workload/classifier.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qcap {
+
+Classifier::Classifier(const engine::Catalog& catalog, ClassifierOptions options)
+    : catalog_(catalog), options_(options) {}
+
+bool Classifier::TableSplitsIntoColumns(const std::string& table) const {
+  if (options_.granularity == Granularity::kColumn) return true;
+  if (options_.granularity != Granularity::kHybrid) return false;
+  auto bytes = catalog_.TableBytes(table);
+  return bytes.ok() && bytes.value() >= options_.hybrid_column_threshold_bytes;
+}
+
+Status Classifier::BuildFragments(Classification* out) const {
+  for (const auto& table : catalog_.tables()) {
+    Granularity effective = options_.granularity;
+    if (effective == Granularity::kHybrid) {
+      effective = TableSplitsIntoColumns(table.name) ? Granularity::kColumn
+                                                     : Granularity::kTable;
+    }
+    switch (effective) {
+      case Granularity::kHybrid:  // Resolved above.
+      case Granularity::kNone:
+      case Granularity::kTable: {
+        QCAP_ASSIGN_OR_RETURN(double bytes, catalog_.TableBytes(table.name));
+        QCAP_RETURN_NOT_OK(
+            out->catalog.Add(table.name, table.name, FragmentKind::kTable, bytes)
+                .status());
+        break;
+      }
+      case Granularity::kColumn: {
+        for (const auto& col : table.columns) {
+          QCAP_ASSIGN_OR_RETURN(double bytes,
+                                catalog_.ColumnBytes(table.name, col.name));
+          QCAP_RETURN_NOT_OK(out->catalog
+                                 .Add(table.name + "." + col.name, table.name,
+                                      FragmentKind::kColumn, bytes)
+                                 .status());
+        }
+        break;
+      }
+      case Granularity::kHorizontal: {
+        QCAP_ASSIGN_OR_RETURN(double bytes, catalog_.TableBytes(table.name));
+        const int parts = options_.horizontal_partitions;
+        for (int p = 0; p < parts; ++p) {
+          QCAP_RETURN_NOT_OK(out->catalog
+                                 .Add(table.name + "#" + std::to_string(p),
+                                      table.name, FragmentKind::kHorizontal,
+                                      bytes / parts)
+                                 .status());
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<FragmentSet> Classifier::QueryFragments(const Query& q,
+                                               const Classification& cls) const {
+  FragmentSet set;
+  for (const auto& access : q.accesses) {
+    QCAP_ASSIGN_OR_RETURN(const engine::TableDef* table,
+                          catalog_.FindTable(access.table));
+    Granularity effective = options_.granularity;
+    if (effective == Granularity::kHybrid) {
+      effective = TableSplitsIntoColumns(access.table) ? Granularity::kColumn
+                                                       : Granularity::kTable;
+    }
+    switch (effective) {
+      case Granularity::kHybrid:  // Resolved above.
+      case Granularity::kNone:
+      case Granularity::kTable: {
+        QCAP_ASSIGN_OR_RETURN(FragmentId id, cls.catalog.Find(access.table));
+        set.push_back(id);
+        break;
+      }
+      case Granularity::kColumn: {
+        std::vector<std::string> columns = access.columns;
+        if (columns.empty()) {
+          for (const auto& col : table->columns) columns.push_back(col.name);
+        } else if (options_.include_candidate_keys) {
+          for (const auto& key : table->PrimaryKeyColumns()) {
+            if (std::find(columns.begin(), columns.end(), key) == columns.end()) {
+              columns.push_back(key);
+            }
+          }
+        }
+        for (const auto& col : columns) {
+          if (table->ColumnIndex(col) < 0) {
+            return Status::NotFound("query '" + q.text + "' references column '" +
+                                    access.table + "." + col +
+                                    "' not in schema");
+          }
+          QCAP_ASSIGN_OR_RETURN(FragmentId id,
+                                cls.catalog.Find(access.table + "." + col));
+          set.push_back(id);
+        }
+        break;
+      }
+      case Granularity::kHorizontal: {
+        std::vector<int> parts = access.partitions;
+        if (parts.empty()) {
+          for (int p = 0; p < options_.horizontal_partitions; ++p) {
+            parts.push_back(p);
+          }
+        }
+        for (int p : parts) {
+          if (p < 0 || p >= options_.horizontal_partitions) {
+            return Status::OutOfRange("query '" + q.text +
+                                      "' references invalid partition " +
+                                      std::to_string(p));
+          }
+          QCAP_ASSIGN_OR_RETURN(
+              FragmentId id,
+              cls.catalog.Find(access.table + "#" + std::to_string(p)));
+          set.push_back(id);
+        }
+        break;
+      }
+    }
+  }
+  NormalizeSet(&set);
+  return set;
+}
+
+Result<Classification> Classifier::Classify(const QueryJournal& journal) const {
+  if (journal.empty()) {
+    return Status::InvalidArgument("cannot classify an empty journal");
+  }
+  if (catalog_.NumTables() == 0) {
+    return Status::InvalidArgument("schema catalog has no tables");
+  }
+
+  Classification cls;
+  QCAP_RETURN_NOT_OK(BuildFragments(&cls));
+
+  // Group queries by (fragment set, is_update). With Granularity::kNone all
+  // reads collapse into one class over all fragments (=> full replication).
+  struct Key {
+    FragmentSet fragments;
+    bool is_update;
+    bool operator<(const Key& o) const {
+      if (is_update != o.is_update) return is_update < o.is_update;
+      return fragments < o.fragments;
+    }
+  };
+  std::map<Key, QueryClass> groups;
+  std::map<Key, uint64_t> group_counts;
+
+  const auto& queries = journal.queries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    FragmentSet frags;
+    if (options_.granularity == Granularity::kNone && !q.is_update) {
+      // One class referencing everything.
+      for (FragmentId id = 0; id < cls.catalog.size(); ++id) {
+        frags.push_back(id);
+      }
+    } else {
+      QCAP_ASSIGN_OR_RETURN(frags, QueryFragments(q, cls));
+    }
+    if (frags.empty()) {
+      return Status::InvalidArgument("query '" + q.text +
+                                     "' references no fragments");
+    }
+    Key key{frags, q.is_update};
+    auto [it, inserted] = groups.try_emplace(key);
+    QueryClass& c = it->second;
+    if (inserted) {
+      c.fragments = std::move(frags);
+      c.is_update = q.is_update;
+    }
+    c.weight += static_cast<double>(journal.count(i)) * q.cost;
+    group_counts[key] += journal.count(i);
+    c.members.push_back(i);
+  }
+
+  const double total_cost = journal.TotalCost();
+  if (total_cost <= 0.0) {
+    return Status::InvalidArgument("journal has non-positive total cost");
+  }
+
+  for (auto& [key, c] : groups) {
+    const uint64_t executions = group_counts[key];
+    c.mean_cost = executions > 0
+                      ? c.weight / static_cast<double>(executions)
+                      : 1.0;
+    c.weight /= total_cost;
+    if (c.is_update) {
+      cls.updates.push_back(std::move(c));
+    } else {
+      cls.reads.push_back(std::move(c));
+    }
+  }
+
+  // Stable, readable labels: descending weight within each set.
+  auto by_weight = [](const QueryClass& a, const QueryClass& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.fragments < b.fragments;
+  };
+  std::sort(cls.reads.begin(), cls.reads.end(), by_weight);
+  std::sort(cls.updates.begin(), cls.updates.end(), by_weight);
+  for (size_t i = 0; i < cls.reads.size(); ++i) {
+    cls.reads[i].label = "Q" + std::to_string(i + 1);
+  }
+  for (size_t i = 0; i < cls.updates.size(); ++i) {
+    cls.updates[i].label = "U" + std::to_string(i + 1);
+  }
+
+  QCAP_RETURN_NOT_OK(cls.Validate());
+  return cls;
+}
+
+}  // namespace qcap

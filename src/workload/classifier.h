@@ -1,0 +1,62 @@
+// Query classification (Section 3.1): grouping journal queries into query
+// classes by the data fragments they reference, at a configurable
+// partitioning granularity.
+#pragma once
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "workload/journal.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+/// Partitioning granularity implied by the classification.
+enum class Granularity {
+  kTable,       ///< Fragments are whole tables (no partitioning).
+  kColumn,      ///< Fragments are columns (vertical partitioning).
+  kHorizontal,  ///< Fragments are horizontal partitions (predicate-based).
+  kHybrid,      ///< Mixture: column fragments for large tables, whole-table
+                ///< fragments for small ones (Section 3.1's "mixture of the
+                ///< above").
+  kNone         ///< All queries fall into one class (=> full replication).
+};
+
+/// Options controlling classification.
+struct ClassifierOptions {
+  Granularity granularity = Granularity::kTable;
+  /// For kHorizontal: number of equal-sized partitions per table.
+  int horizontal_partitions = 4;
+  /// For kColumn: include the owning table's candidate-key columns in every
+  /// class so data remains losslessly reconstructible (Section 3.1).
+  bool include_candidate_keys = true;
+  /// For kHybrid: tables at least this large are split into columns;
+  /// smaller tables stay whole (vertically partitioning a tiny dimension
+  /// table buys nothing and costs reconstruction work).
+  double hybrid_column_threshold_bytes = 64.0 * 1024 * 1024;
+};
+
+/// \brief Classifies a query journal against a schema catalog.
+///
+/// The classifier builds the fragment catalog for the chosen granularity,
+/// assigns each distinguishable query to the class of its referenced
+/// fragment set (Eq. 2/3), and computes normalized class weights (Eq. 4).
+class Classifier {
+ public:
+  Classifier(const engine::Catalog& catalog, ClassifierOptions options);
+
+  /// Classifies \p journal. Fails if the journal is empty, references
+  /// unknown tables/columns, or the schema has no tables.
+  Result<Classification> Classify(const QueryJournal& journal) const;
+
+ private:
+  Status BuildFragments(Classification* out) const;
+  Result<FragmentSet> QueryFragments(const Query& q,
+                                     const Classification& cls) const;
+  /// Whether \p table is column-fragmented under the current options.
+  bool TableSplitsIntoColumns(const std::string& table) const;
+
+  const engine::Catalog& catalog_;
+  ClassifierOptions options_;
+};
+
+}  // namespace qcap

@@ -1,0 +1,87 @@
+// Data fragments: the atomic units of placement.
+//
+// Depending on the classification granularity (Section 3.1 of the paper) a
+// fragment is a whole table, a single column, or a horizontal partition.
+// Fragments are interned in a FragmentCatalog which records their sizes;
+// query classes and allocations refer to them by dense integer id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qcap {
+
+/// Dense fragment identifier (index into the FragmentCatalog).
+using FragmentId = uint32_t;
+
+/// A sorted, duplicate-free set of fragment ids.
+using FragmentSet = std::vector<FragmentId>;
+
+/// What a fragment physically is.
+enum class FragmentKind {
+  kTable,       ///< A whole relation.
+  kColumn,      ///< One column of a relation (vertical partitioning).
+  kHorizontal   ///< One horizontal partition of a relation.
+};
+
+/// One placeable unit of data.
+struct Fragment {
+  FragmentId id = 0;
+  std::string name;        ///< Unique, e.g. "lineitem" or "lineitem.l_price".
+  std::string table;       ///< Owning relation.
+  FragmentKind kind = FragmentKind::kTable;
+  double size_bytes = 0.0; ///< Physical size used by size-aware heuristics.
+};
+
+/// \brief Interning registry of fragments with size accounting.
+class FragmentCatalog {
+ public:
+  /// Registers a fragment; returns its id. Fails on duplicate names or
+  /// negative sizes.
+  Result<FragmentId> Add(std::string name, std::string table, FragmentKind kind,
+                         double size_bytes);
+
+  /// Number of registered fragments.
+  size_t size() const { return fragments_.size(); }
+  bool empty() const { return fragments_.empty(); }
+
+  /// Fragment by id; id must be valid.
+  const Fragment& Get(FragmentId id) const { return fragments_[id]; }
+  /// Id of the fragment named \p name.
+  Result<FragmentId> Find(const std::string& name) const;
+
+  /// All fragments in id order.
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+
+  /// Sum of sizes of the fragments in \p set.
+  double SetBytes(const FragmentSet& set) const;
+  /// Sum of sizes of all fragments (the unreplicated database size).
+  double TotalBytes() const;
+
+ private:
+  std::vector<Fragment> fragments_;
+  std::map<std::string, FragmentId> by_name_;
+};
+
+// --- FragmentSet algebra (sets are sorted and duplicate-free) ---
+
+/// Sorts and deduplicates \p set in place.
+void NormalizeSet(FragmentSet* set);
+/// a ∪ b.
+FragmentSet SetUnion(const FragmentSet& a, const FragmentSet& b);
+/// a ∩ b.
+FragmentSet SetIntersection(const FragmentSet& a, const FragmentSet& b);
+/// a \ b.
+FragmentSet SetDifference(const FragmentSet& a, const FragmentSet& b);
+/// True iff a ⊆ b.
+bool IsSubset(const FragmentSet& a, const FragmentSet& b);
+/// True iff a ∩ b ≠ ∅.
+bool Intersects(const FragmentSet& a, const FragmentSet& b);
+/// True iff \p id ∈ \p set.
+bool Contains(const FragmentSet& set, FragmentId id);
+
+}  // namespace qcap

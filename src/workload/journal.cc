@@ -1,0 +1,59 @@
+#include "workload/journal.h"
+
+#include <algorithm>
+
+namespace qcap {
+
+size_t QueryJournal::InternQuery(const Query& query) {
+  auto it = by_text_.find(query.text);
+  if (it != by_text_.end()) return it->second;
+  size_t idx = queries_.size();
+  by_text_[query.text] = idx;
+  queries_.push_back(query);
+  counts_.push_back(0);
+  return idx;
+}
+
+void QueryJournal::Record(const Query& query, uint64_t count) {
+  if (count == 0) return;
+  size_t idx = InternQuery(query);
+  counts_[idx] += count;
+  total_executions_ += count;
+}
+
+void QueryJournal::RecordAt(const Query& query, double timestamp) {
+  size_t idx = InternQuery(query);
+  counts_[idx] += 1;
+  total_executions_ += 1;
+  timeline_.emplace_back(timestamp, idx);
+}
+
+double QueryJournal::TotalCost() const {
+  double total = 0.0;
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    total += static_cast<double>(counts_[i]) * queries_[i].cost;
+  }
+  return total;
+}
+
+QueryJournal QueryJournal::Slice(double begin_time, double end_time) const {
+  QueryJournal out;
+  for (const auto& [ts, idx] : timeline_) {
+    if (ts >= begin_time && ts < end_time) {
+      out.RecordAt(queries_[idx], ts);
+    }
+  }
+  return out;
+}
+
+bool QueryJournal::TimeRange(double* begin_time, double* end_time) const {
+  if (timeline_.empty()) return false;
+  auto [mn, mx] = std::minmax_element(
+      timeline_.begin(), timeline_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  *begin_time = mn->first;
+  *end_time = mx->first;
+  return true;
+}
+
+}  // namespace qcap

@@ -1,0 +1,65 @@
+// The query journal J: a multiset of executed queries (Section 3.1).
+//
+// The journal records each distinguishable query together with its number
+// of occurrences j(q). Order is irrelevant for classification, so the
+// journal stores (query, count) pairs keyed by query text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/query.h"
+
+namespace qcap {
+
+/// \brief Multiset of executed queries with per-query occurrence counts.
+class QueryJournal {
+ public:
+  QueryJournal() = default;
+
+  /// Records \p count executions of \p query. Repeated calls with the same
+  /// query text accumulate counts; the structured access information of the
+  /// first registration wins (texts identify queries).
+  void Record(const Query& query, uint64_t count = 1);
+
+  /// Number of distinguishable queries |Q|.
+  size_t NumDistinct() const { return queries_.size(); }
+  /// Total number of recorded executions Σ j(q).
+  uint64_t TotalExecutions() const { return total_executions_; }
+  /// True iff nothing has been recorded.
+  bool empty() const { return queries_.empty(); }
+
+  /// The distinguishable queries, in first-seen order.
+  const std::vector<Query>& queries() const { return queries_; }
+  /// j(q): occurrences of the i-th distinguishable query.
+  uint64_t count(size_t i) const { return counts_[i]; }
+
+  /// Σ j(q)·weight(q) over the whole journal (the denominator of Eq. 4).
+  double TotalCost() const;
+
+  /// Restricts the journal to executions whose recorded timestamps fall in
+  /// [begin, end). Only meaningful if timestamps were supplied via
+  /// RecordAt(); queries recorded without timestamps are excluded.
+  QueryJournal Slice(double begin_time, double end_time) const;
+
+  /// Records one execution of \p query at time \p timestamp (seconds).
+  /// Timestamped records enable workload segmentation (Section 5).
+  void RecordAt(const Query& query, double timestamp);
+
+  /// Earliest and latest recorded timestamps; returns false if none exist.
+  bool TimeRange(double* begin_time, double* end_time) const;
+
+ private:
+  size_t InternQuery(const Query& query);
+
+  std::vector<Query> queries_;
+  std::vector<uint64_t> counts_;
+  std::map<std::string, size_t> by_text_;
+  std::vector<std::pair<double, size_t>> timeline_;  // (timestamp, query idx)
+  uint64_t total_executions_ = 0;
+};
+
+}  // namespace qcap

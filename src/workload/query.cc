@@ -1,0 +1,21 @@
+#include "workload/query.h"
+
+namespace qcap {
+
+Query Query::Read(std::string text, std::vector<std::string> tables, double cost) {
+  Query q;
+  q.text = std::move(text);
+  for (auto& t : tables) q.accesses.push_back(TableAccess{std::move(t), {}, {}});
+  q.is_update = false;
+  q.cost = cost;
+  return q;
+}
+
+Query Query::Update(std::string text, std::vector<std::string> tables,
+                    double cost) {
+  Query q = Read(std::move(text), std::move(tables), cost);
+  q.is_update = true;
+  return q;
+}
+
+}  // namespace qcap

@@ -1,0 +1,43 @@
+// Query descriptions as recorded in a query journal.
+//
+// A query is identified by its text (two queries are distinguishable iff
+// they are not textually identical, Section 3.1). For classification, a
+// query carries structured access information: which tables, which columns
+// of each table, and optionally which horizontal partitions it touches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qcap {
+
+/// Access of one query to one table.
+struct TableAccess {
+  std::string table;
+  /// Referenced columns; empty means "all columns of the table".
+  std::vector<std::string> columns;
+  /// Referenced horizontal partitions (indices); empty means "all".
+  std::vector<int> partitions;
+};
+
+/// One distinguishable query.
+struct Query {
+  /// Identity of the query; textually identical queries are the same query.
+  std::string text;
+  /// Tables/columns/partitions the query references.
+  std::vector<TableAccess> accesses;
+  /// True for INSERT/UPDATE/DELETE-style requests (update query classes).
+  bool is_update = false;
+  /// weight(q): measured execution time or optimizer cost estimate of one
+  /// execution of the query (Eq. 4 uses j(q) * weight(q)).
+  double cost = 1.0;
+
+  /// Convenience factory for a read query touching whole tables.
+  static Query Read(std::string text, std::vector<std::string> tables,
+                    double cost = 1.0);
+  /// Convenience factory for an update query touching whole tables.
+  static Query Update(std::string text, std::vector<std::string> tables,
+                      double cost = 1.0);
+};
+
+}  // namespace qcap

@@ -1,0 +1,78 @@
+#include "workload/query_class.h"
+
+#include <cmath>
+
+namespace qcap {
+
+std::vector<size_t> Classification::OverlappingUpdates(const QueryClass& c) const {
+  std::vector<size_t> out;
+  for (size_t u = 0; u < updates.size(); ++u) {
+    if (Intersects(c.fragments, updates[u].fragments)) out.push_back(u);
+  }
+  return out;
+}
+
+double Classification::OverlappingUpdateWeight(const QueryClass& c) const {
+  double w = 0.0;
+  for (size_t u : OverlappingUpdates(c)) w += updates[u].weight;
+  return w;
+}
+
+FragmentSet Classification::FragmentsWithUpdates(const QueryClass& c) const {
+  FragmentSet out = c.fragments;
+  for (size_t u : OverlappingUpdates(c)) {
+    out = SetUnion(out, updates[u].fragments);
+  }
+  return out;
+}
+
+double Classification::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& c : reads) total += c.weight;
+  for (const auto& c : updates) total += c.weight;
+  return total;
+}
+
+Status Classification::Validate() const {
+  auto check_class = [&](const QueryClass& c, bool is_update) -> Status {
+    if (c.fragments.empty()) {
+      return Status::InvalidArgument("class '" + c.label +
+                                     "' references no fragments");
+    }
+    if (c.weight < 0.0 || c.weight > 1.0 + 1e-9) {
+      return Status::InvalidArgument("class '" + c.label +
+                                     "' has weight outside [0,1]");
+    }
+    if (c.is_update != is_update) {
+      return Status::InvalidArgument("class '" + c.label +
+                                     "' is in the wrong class set");
+    }
+    FragmentId prev = 0;
+    bool first = true;
+    for (FragmentId id : c.fragments) {
+      if (id >= catalog.size()) {
+        return Status::InvalidArgument("class '" + c.label +
+                                       "' references unknown fragment id");
+      }
+      if (!first && id <= prev) {
+        return Status::InvalidArgument("class '" + c.label +
+                                       "' fragment set not sorted/unique");
+      }
+      prev = id;
+      first = false;
+    }
+    return Status::OK();
+  };
+  for (const auto& c : reads) QCAP_RETURN_NOT_OK(check_class(c, false));
+  for (const auto& c : updates) QCAP_RETURN_NOT_OK(check_class(c, true));
+  if (NumClasses() > 0) {
+    double total = TotalWeight();
+    if (std::abs(total - 1.0) > 1e-6) {
+      return Status::InvalidArgument("class weights sum to " +
+                                     std::to_string(total) + ", expected 1");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace qcap

@@ -1,0 +1,60 @@
+// Query classes: groups of queries referencing the same fragment set
+// (Section 3.1, Eq. 2-4), plus the classification result container.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/fragment.h"
+
+namespace qcap {
+
+/// A class of similar queries: identified by the set of fragments its
+/// member queries reference.
+struct QueryClass {
+  /// Referenced fragments (sorted, unique). Defines the class identity.
+  FragmentSet fragments;
+  /// Relative share of the total workload cost (Eq. 4); all classes of a
+  /// classification sum to 1.
+  double weight = 0.0;
+  /// Mean cost of a single execution of a member query (journal cost
+  /// units, e.g. seconds). Drives the simulator's service times.
+  double mean_cost = 1.0;
+  /// True for update query classes (members are update requests).
+  bool is_update = false;
+  /// Display label, e.g. "Q1" or "U_order_line".
+  std::string label;
+  /// Indices of member queries in the originating journal.
+  std::vector<size_t> members;
+};
+
+/// \brief Result of classifying a journal: fragments, read classes CQ, and
+/// update classes CU, with weights normalized across CQ ∪ CU.
+struct Classification {
+  FragmentCatalog catalog;
+  std::vector<QueryClass> reads;    ///< CQ.
+  std::vector<QueryClass> updates;  ///< CU.
+
+  /// Number of classes |C| = |CQ| + |CU|.
+  size_t NumClasses() const { return reads.size() + updates.size(); }
+
+  /// updates(C) (Eq. 12): indices into `updates` of the update classes whose
+  /// fragment sets overlap \p c.fragments.
+  std::vector<size_t> OverlappingUpdates(const QueryClass& c) const;
+
+  /// Σ weight over updates(C) — the update weight co-allocated with C.
+  double OverlappingUpdateWeight(const QueryClass& c) const;
+
+  /// Union of C's fragments with the fragments of all classes in updates(C)
+  /// (the data that must be placed together with C in Algorithm 1).
+  FragmentSet FragmentsWithUpdates(const QueryClass& c) const;
+
+  /// Sum of weights of all classes (should be ~1 after classification).
+  double TotalWeight() const;
+
+  /// Consistency check: weights in [0,1] summing to ~1, fragment ids valid,
+  /// fragment sets sorted/unique and non-empty.
+  Status Validate() const;
+};
+
+}  // namespace qcap

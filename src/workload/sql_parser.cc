@@ -1,0 +1,334 @@
+#include "workload/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace qcap {
+
+namespace {
+
+enum class TokenKind { kIdent, kNumber, kString, kPunct, kStar };
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // Lower-cased for idents.
+  char punct = 0;
+};
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "select", "from",    "where",  "group",   "order",  "by",
+      "having", "join",    "inner",  "left",    "right",  "outer",
+      "full",   "cross",   "on",     "as",      "and",    "or",
+      "not",    "in",      "exists", "between", "like",   "is",
+      "null",   "insert",  "into",   "values",  "update", "set",
+      "delete", "distinct", "limit", "offset",  "union",  "all",
+      "case",   "when",    "then",   "else",    "end",    "asc",
+      "desc",   "true",    "false",  "interval", "date",  "using"};
+  return kKeywords;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                                sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::transform(word.begin(), word.end(), word.begin(),
+                     [](unsigned char ch) { return std::tolower(ch); });
+      tokens.push_back(Token{TokenKind::kIdent, std::move(word), 0});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < sql.size() && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                                sql[j] == '.' || sql[j] == 'e' ||
+                                sql[j] == 'E' || sql[j] == '-')) {
+        // Stop a trailing '-' that is actually an operator.
+        if ((sql[j] == '-' ) &&
+            !(j > i && (sql[j - 1] == 'e' || sql[j - 1] == 'E'))) {
+          break;
+        }
+        ++j;
+      }
+      tokens.push_back(Token{TokenKind::kNumber, sql.substr(i, j - i), 0});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < sql.size() && sql[j] != '\'') ++j;
+      if (j >= sql.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      tokens.push_back(Token{TokenKind::kString, sql.substr(i + 1, j - i - 1), 0});
+      i = j + 1;
+      continue;
+    }
+    if (c == '*') {
+      tokens.push_back(Token{TokenKind::kStar, "*", '*'});
+      ++i;
+      continue;
+    }
+    // Multi-char operators collapse to punctuation; we only need structure.
+    tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), c});
+    ++i;
+  }
+  return tokens;
+}
+
+bool IsIdent(const Token& t) {
+  return t.kind == TokenKind::kIdent && Keywords().count(t.text) == 0;
+}
+
+bool IsKeywordNamed(const Token& t, const char* name) {
+  return t.kind == TokenKind::kIdent && t.text == name;
+}
+
+/// Statement analysis state.
+struct Analysis {
+  /// alias (or table name) -> table name.
+  std::map<std::string, std::string> tables;
+  /// table -> referenced columns ("*" marker = all).
+  std::map<std::string, std::set<std::string>> columns;
+  /// Tables whose full width is referenced.
+  std::set<std::string> all_columns;
+  bool is_update = false;
+};
+
+}  // namespace
+
+Result<Query> SqlParser::Parse(const std::string& sql, double cost) const {
+  QCAP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty statement");
+  }
+
+  Analysis a;
+  const std::string head = tokens[0].kind == TokenKind::kIdent
+                               ? tokens[0].text
+                               : "";
+  if (head != "select" && head != "insert" && head != "update" &&
+      head != "delete") {
+    return Status::Unimplemented("unsupported statement: starts with '" +
+                                 tokens[0].text + "'");
+  }
+  a.is_update = head != "select";
+
+  auto register_table = [&](const std::string& name,
+                            const std::string& alias) -> Status {
+    if (!catalog_.HasTable(name)) {
+      return Status::NotFound("unknown table '" + name + "' in: " + sql);
+    }
+    a.tables[name] = name;
+    if (!alias.empty()) a.tables[alias] = name;
+    a.columns.try_emplace(name);
+    return Status::OK();
+  };
+
+  // Pass 1: find table references and mark their token positions.
+  std::vector<bool> consumed(tokens.size(), false);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const bool from_like = IsKeywordNamed(tokens[i], "from") ||
+                           IsKeywordNamed(tokens[i], "join") ||
+                           IsKeywordNamed(tokens[i], "into") ||
+                           (IsKeywordNamed(tokens[i], "update") && i == 0);
+    if (!from_like) continue;
+    size_t j = i + 1;
+    // FROM supports a comma list: t1 [AS] [alias], t2 [alias], ...
+    while (j < tokens.size()) {
+      if (!IsIdent(tokens[j])) break;
+      const std::string table = tokens[j].text;
+      consumed[j] = true;
+      ++j;
+      std::string alias;
+      if (j < tokens.size() && IsKeywordNamed(tokens[j], "as")) {
+        consumed[j] = true;
+        ++j;
+      }
+      if (j < tokens.size() && IsIdent(tokens[j]) &&
+          // alias only if not followed by '.' (that would be a column ref
+          // like "t1.c" with t1 unknown) and not itself a table position.
+          !(j + 1 < tokens.size() && tokens[j + 1].punct == '.')) {
+        alias = tokens[j].text;
+        consumed[j] = true;
+        ++j;
+      }
+      QCAP_RETURN_NOT_OK(register_table(table, alias));
+      if (j < tokens.size() && tokens[j].punct == ',' &&
+          IsKeywordNamed(tokens[i], "from")) {
+        consumed[j] = true;
+        ++j;
+        continue;
+      }
+      break;
+    }
+  }
+  if (a.tables.empty()) {
+    return Status::InvalidArgument("no table references found in: " + sql);
+  }
+
+  // INSERT column list: INTO t (c1, c2, ...) — columns belong to t.
+  std::string insert_table;
+  if (head == "insert") {
+    insert_table = a.columns.begin()->first;
+    bool saw_column_list = false;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (IsKeywordNamed(tokens[i], "into") && i + 2 < tokens.size() &&
+          tokens[i + 2].punct == '(') {
+        size_t j = i + 3;
+        while (j < tokens.size() && tokens[j].punct != ')') {
+          if (IsIdent(tokens[j])) {
+            a.columns[insert_table].insert(tokens[j].text);
+            consumed[j] = true;
+            saw_column_list = true;
+          }
+          ++j;
+        }
+        // Everything after VALUES is literals; stop scanning columns there.
+        break;
+      }
+    }
+    if (!saw_column_list) {
+      a.all_columns.insert(insert_table);  // Whole-row insert.
+    }
+    // VALUES payload carries no schema references.
+    Query q;
+    q.text = sql;
+    q.is_update = true;
+    q.cost = cost;
+    TableAccess access;
+    access.table = insert_table;
+    if (a.all_columns.count(insert_table) == 0) {
+      access.columns.assign(a.columns[insert_table].begin(),
+                            a.columns[insert_table].end());
+      // Validate.
+      QCAP_ASSIGN_OR_RETURN(const engine::TableDef* def,
+                            catalog_.FindTable(insert_table));
+      for (const auto& col : access.columns) {
+        if (def->ColumnIndex(col) < 0) {
+          return Status::NotFound("unknown column '" + col + "' of '" +
+                                  insert_table + "' in: " + sql);
+        }
+      }
+    }
+    q.accesses.push_back(std::move(access));
+    return q;
+  }
+
+  // DELETE references the whole row of its table.
+  if (head == "delete") {
+    for (auto& [name, cols] : a.columns) a.all_columns.insert(name);
+  }
+
+  // Pass 2: column references. Qualified (x.c), bare idents, and stars.
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (consumed[i]) continue;
+    // Qualified: ident '.' (ident | *)
+    if (IsIdent(tokens[i]) && i + 2 < tokens.size() + 1 &&
+        i + 1 < tokens.size() && tokens[i + 1].punct == '.') {
+      const std::string qualifier = tokens[i].text;
+      auto it = a.tables.find(qualifier);
+      if (it == a.tables.end()) {
+        return Status::NotFound("unknown table or alias '" + qualifier +
+                                "' in: " + sql);
+      }
+      if (i + 2 >= tokens.size()) {
+        return Status::InvalidArgument("dangling qualifier in: " + sql);
+      }
+      if (tokens[i + 2].kind == TokenKind::kStar) {
+        a.all_columns.insert(it->second);
+      } else if (IsIdent(tokens[i + 2])) {
+        a.columns[it->second].insert(tokens[i + 2].text);
+      } else {
+        return Status::InvalidArgument("expected column after '" + qualifier +
+                                       ".' in: " + sql);
+      }
+      consumed[i] = consumed[i + 1] = consumed[i + 2] = true;
+      i += 2;
+      continue;
+    }
+    // SELECT * (unqualified star right after SELECT or a comma).
+    if (tokens[i].kind == TokenKind::kStar) {
+      const bool projection_star =
+          i > 0 && (IsKeywordNamed(tokens[i - 1], "select") ||
+                    IsKeywordNamed(tokens[i - 1], "distinct") ||
+                    tokens[i - 1].punct == ',' || tokens[i - 1].punct == '(');
+      const bool count_star = i > 0 && tokens[i - 1].punct == '(';
+      if (projection_star && !count_star) {
+        for (auto& [name, cols] : a.columns) a.all_columns.insert(name);
+      }
+      continue;
+    }
+    // Function call: ident '(' — not a column.
+    if (IsIdent(tokens[i]) && i + 1 < tokens.size() &&
+        tokens[i + 1].punct == '(') {
+      continue;
+    }
+    // Bare column: resolve against the referenced tables.
+    if (IsIdent(tokens[i])) {
+      const std::string& name = tokens[i].text;
+      if (a.tables.count(name) != 0) continue;  // Table mentioned elsewhere.
+      std::string owner;
+      for (const auto& [tbl, cols] : a.columns) {
+        auto def = catalog_.FindTable(tbl);
+        if (def.ok() && def.value()->ColumnIndex(name) >= 0) {
+          if (!owner.empty() && owner != tbl) {
+            return Status::InvalidArgument("ambiguous column '" + name +
+                                           "' in: " + sql);
+          }
+          owner = tbl;
+        }
+      }
+      if (owner.empty()) {
+        return Status::NotFound("unknown column '" + name + "' in: " + sql);
+      }
+      a.columns[owner].insert(name);
+    }
+  }
+
+  // Validate qualified columns against the schema.
+  for (const auto& [tbl, cols] : a.columns) {
+    QCAP_ASSIGN_OR_RETURN(const engine::TableDef* def, catalog_.FindTable(tbl));
+    for (const auto& col : cols) {
+      if (def->ColumnIndex(col) < 0) {
+        return Status::NotFound("unknown column '" + col + "' of '" + tbl +
+                                "' in: " + sql);
+      }
+    }
+  }
+
+  Query q;
+  q.text = sql;
+  q.is_update = a.is_update;
+  q.cost = cost;
+  for (const auto& [tbl, cols] : a.columns) {
+    TableAccess access;
+    access.table = tbl;
+    if (a.all_columns.count(tbl) == 0) {
+      access.columns.assign(cols.begin(), cols.end());
+      if (access.columns.empty()) {
+        // Referenced but no columns attributed (e.g. bare EXISTS): treat as
+        // whole-table access.
+      }
+    }
+    q.accesses.push_back(std::move(access));
+  }
+  return q;
+}
+
+}  // namespace qcap

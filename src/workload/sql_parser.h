@@ -1,0 +1,47 @@
+// A small SQL reference extractor: turns query text into the structured
+// access information the classifier needs (Section 3.1 analyzes a journal
+// of executed SQL statements).
+//
+// This is not a full SQL parser — it recognizes the surface forms needed
+// to extract referenced tables and columns from typical OLTP/OLAP
+// statements:
+//
+//   SELECT <cols|*> FROM t1 [AS a] [, t2 | JOIN t2 ON ...] [WHERE ...]
+//          [GROUP BY ...] [ORDER BY ...]
+//   INSERT INTO t [(c1, c2, ...)] VALUES (...)
+//   UPDATE t SET c1 = expr [, ...] [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//
+// Subqueries are handled by scanning their FROM/column references too.
+// Column names may be qualified (t.c or alias.c) or bare; bare names are
+// resolved against the schema catalog and must be unambiguous.
+// Identifiers are case-folded to lowercase (SQL semantics), so schema
+// catalogs consumed by the parser should use lowercase table and column
+// names, as the shipped workload catalogs do.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "workload/query.h"
+
+namespace qcap {
+
+/// \brief Extracts table/column references from SQL text.
+class SqlParser {
+ public:
+  /// \p catalog resolves bare column names and validates references.
+  explicit SqlParser(const engine::Catalog& catalog) : catalog_(catalog) {}
+
+  /// Parses \p sql into a Query whose text is the statement itself and
+  /// whose cost is \p cost (e.g. the measured execution time).
+  /// Fails on unknown tables, unknown or ambiguous columns, or statement
+  /// forms the extractor does not recognize.
+  Result<Query> Parse(const std::string& sql, double cost = 1.0) const;
+
+ private:
+  const engine::Catalog& catalog_;
+};
+
+}  // namespace qcap

@@ -1,0 +1,87 @@
+#include "workloads/journal_synth.h"
+
+#include <cassert>
+#include <string>
+
+#include "common/random.h"
+
+namespace qcap::workloads {
+
+Result<QueryJournal> JournalFromCounts(const std::vector<Query>& templates,
+                                       const std::vector<uint64_t>& counts) {
+  if (templates.size() != counts.size()) {
+    return Status::InvalidArgument("templates and counts differ in length");
+  }
+  QueryJournal journal;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    journal.Record(templates[i], counts[i]);
+  }
+  return journal;
+}
+
+RandomWorkload MakeRandomWorkload(uint64_t seed,
+                                  const RandomWorkloadOptions& options) {
+  Rng rng(seed);
+  RandomWorkload out;
+
+  for (size_t t = 0; t < options.num_tables; ++t) {
+    engine::TableDef def;
+    def.name = "t" + std::to_string(t);
+    def.base_rows = 1000 + rng.NextBounded(1000000);
+    for (size_t c = 0; c < options.columns_per_table; ++c) {
+      engine::ColumnDef col;
+      col.name = "c" + std::to_string(c);
+      col.type = engine::ColumnType::kVarchar;
+      col.declared_width = 4 + static_cast<uint32_t>(rng.NextBounded(60));
+      col.primary_key = (c == 0);
+      def.columns.push_back(std::move(col));
+    }
+    Status st = out.catalog.AddTable(std::move(def));
+    assert(st.ok());
+    (void)st;
+  }
+
+  auto make_query = [&](const std::string& name, bool is_update) {
+    Query q;
+    q.text = name;
+    q.is_update = is_update;
+    q.cost = rng.NextDouble(options.min_cost, options.max_cost);
+    const size_t ntab =
+        1 + rng.NextBounded(std::min(options.max_tables_per_query,
+                                     options.num_tables));
+    std::vector<size_t> tables(options.num_tables);
+    for (size_t i = 0; i < tables.size(); ++i) tables[i] = i;
+    rng.Shuffle(tables.begin(), tables.end());
+    for (size_t i = 0; i < ntab; ++i) {
+      TableAccess access;
+      access.table = "t" + std::to_string(tables[i]);
+      // Updates touch whole rows; reads pick a random column subset.
+      if (!is_update) {
+        for (size_t c = 0; c < options.columns_per_table; ++c) {
+          if (rng.NextBernoulli(0.5)) {
+            access.columns.push_back("c" + std::to_string(c));
+          }
+        }
+        if (access.columns.empty()) access.columns.push_back("c0");
+      }
+      q.accesses.push_back(std::move(access));
+    }
+    return q;
+  };
+
+  for (size_t i = 0; i < options.num_read_templates; ++i) {
+    const Query q = make_query("r" + std::to_string(i), false);
+    out.journal.Record(
+        q, options.min_count +
+               rng.NextBounded(options.max_count - options.min_count + 1));
+  }
+  for (size_t i = 0; i < options.num_update_templates; ++i) {
+    const Query q = make_query("u" + std::to_string(i), true);
+    out.journal.Record(
+        q, options.min_count +
+               rng.NextBounded(options.max_count - options.min_count + 1));
+  }
+  return out;
+}
+
+}  // namespace qcap::workloads

@@ -1,0 +1,42 @@
+// Journal synthesis helpers: build journals from template/count pairs and
+// random workloads for property-based testing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/catalog.h"
+#include "workload/journal.h"
+
+namespace qcap::workloads {
+
+/// Builds a journal from parallel template/count vectors.
+Result<QueryJournal> JournalFromCounts(const std::vector<Query>& templates,
+                                       const std::vector<uint64_t>& counts);
+
+/// Parameters for random workload synthesis (property tests, ablations).
+struct RandomWorkloadOptions {
+  size_t num_tables = 6;
+  size_t columns_per_table = 5;
+  size_t num_read_templates = 8;
+  size_t num_update_templates = 3;
+  /// Maximum tables one query references.
+  size_t max_tables_per_query = 3;
+  double min_cost = 0.001;
+  double max_cost = 0.1;
+  uint64_t min_count = 10;
+  uint64_t max_count = 1000;
+};
+
+/// A random schema + journal pair, deterministic for a given seed.
+struct RandomWorkload {
+  engine::Catalog catalog;
+  QueryJournal journal;
+};
+
+/// Synthesizes a random but well-formed workload.
+RandomWorkload MakeRandomWorkload(uint64_t seed,
+                                  const RandomWorkloadOptions& options = {});
+
+}  // namespace qcap::workloads

@@ -1,0 +1,95 @@
+#include "workloads/timeseries.h"
+
+#include <cassert>
+
+namespace qcap::workloads {
+
+using engine::ColumnDef;
+using engine::ColumnType;
+using engine::TableDef;
+
+namespace {
+
+ColumnDef Col(const char* name, ColumnType type, uint32_t width = 0,
+              bool pk = false) {
+  return ColumnDef{name, type, width, pk};
+}
+
+}  // namespace
+
+engine::Catalog TimeSeriesCatalog(double scale_factor) {
+  engine::Catalog catalog;
+  auto add = [&](TableDef def) {
+    Status st = catalog.AddTable(std::move(def));
+    assert(st.ok());
+    (void)st;
+  };
+  add(TableDef{"events",
+               {Col("e_id", ColumnType::kInt64, 0, true),
+                Col("e_sensor", ColumnType::kInt64),
+                Col("e_time", ColumnType::kDate),
+                Col("e_value", ColumnType::kDecimal),
+                Col("e_status", ColumnType::kChar, 8),
+                Col("e_payload", ColumnType::kVarchar, 60)},
+               8000000});
+  add(TableDef{"sensors",
+               {Col("s_id", ColumnType::kInt64, 0, true),
+                Col("s_site", ColumnType::kInt64),
+                Col("s_kind", ColumnType::kChar, 16),
+                Col("s_unit", ColumnType::kChar, 8)},
+               50000});
+  add(TableDef{"sites",
+               {Col("st_id", ColumnType::kInt64, 0, true),
+                Col("st_name", ColumnType::kVarchar, 40),
+                Col("st_region", ColumnType::kChar, 16)},
+               500});
+  catalog.SetScaleFactor(scale_factor);
+  return catalog;
+}
+
+std::vector<Query> TimeSeriesQueries() {
+  std::vector<Query> queries;
+  auto add = [&](const char* name, bool is_update, double cost_seconds,
+                 std::vector<TableAccess> accesses) {
+    Query q;
+    q.text = name;
+    q.accesses = std::move(accesses);
+    q.is_update = is_update;
+    q.cost = cost_seconds;
+    queries.push_back(std::move(q));
+  };
+
+  // Ingest appends to the newest range partition only.
+  add("ts-ingest", true, 0.0002, {{"events", {}, {7}}});
+  // Live dashboard over the last complete range.
+  add("ts-live", false, 0.004,
+      {{"events", {}, {6}}, {"sensors", {}, {}}});
+  // Daily rollup over the recent ranges.
+  add("ts-daily", false, 0.010,
+      {{"events", {}, {4, 5, 6}}, {"sensors", {}, {}}, {"sites", {}, {}}});
+  // Historical reporting over the closed ranges.
+  add("ts-history", false, 0.025,
+      {{"events", {}, {0, 1, 2, 3, 4, 5}}, {"sites", {}, {}}});
+  // Cold archive scans.
+  add("ts-archive", false, 0.020, {{"events", {}, {0, 1}}});
+  return queries;
+}
+
+QueryJournal TimeSeriesJournal(uint64_t total_queries) {
+  // Counts tuned so the weights come out: ingest 15%, live 25%, daily 20%,
+  // history 25%, archive 15%.
+  const std::vector<Query> templates = TimeSeriesQueries();
+  const double weights[] = {0.15, 0.25, 0.20, 0.25, 0.15};
+  QueryJournal journal;
+  // Pick a notional total cost of `total_queries` microjoules and derive
+  // counts from weight/cost.
+  const double total_cost = static_cast<double>(total_queries) * 0.002;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    const auto count = static_cast<uint64_t>(
+        weights[i] * total_cost / templates[i].cost + 0.5);
+    journal.Record(templates[i], count > 0 ? count : 1);
+  }
+  return journal;
+}
+
+}  // namespace qcap::workloads

@@ -1,0 +1,33 @@
+// Synthetic time-series (append-mostly) workload for the horizontal
+// partitioning granularity (Section 3.1: "group the queries based on
+// their predicates and, thus, create a horizontal partitioning").
+//
+// An `events` fact table is range-partitioned by time into P partitions.
+// Ingest appends only to the newest partition; dashboards read the recent
+// partitions; reports scan historical ranges. At table granularity every
+// query class references the whole events table (ingest forces the table
+// onto every reading backend); at horizontal granularity the hot tail is
+// isolated and the cold ranges replicate freely.
+#pragma once
+
+#include <cstdint>
+
+#include "engine/catalog.h"
+#include "workload/journal.h"
+
+namespace qcap::workloads {
+
+/// Number of range partitions the workload's predicates are aligned to.
+inline constexpr int kTimeSeriesPartitions = 8;
+
+/// Schema: `events` (large, partitioned) + `sensors`, `sites` dimensions.
+engine::Catalog TimeSeriesCatalog(double scale_factor = 1.0);
+
+/// Query templates: partition-aligned reads plus tail-partition ingest.
+std::vector<Query> TimeSeriesQueries();
+
+/// A journal with an ingest-heavy mix (~30% update weight concentrated on
+/// the newest partition).
+QueryJournal TimeSeriesJournal(uint64_t total_queries = 100000);
+
+}  // namespace qcap::workloads

@@ -1,0 +1,243 @@
+#include "workloads/tpcapp.h"
+
+#include <cassert>
+
+namespace qcap::workloads {
+
+using engine::ColumnDef;
+using engine::ColumnType;
+using engine::TableDef;
+
+namespace {
+
+ColumnDef Col(const char* name, ColumnType type, uint32_t width = 0,
+              bool pk = false) {
+  return ColumnDef{name, type, width, pk};
+}
+
+/// Query templates with per-execution costs. The `update_cost_factor`
+/// scales the update costs (1.0 = the paper's EB=300 mix with 25% update
+/// weight; 3.0 yields the large-scale 1:1 read:update weight mix).
+std::vector<Query> BuildQueries(double update_cost_factor) {
+  std::vector<Query> queries;
+  auto add = [&](const char* name, bool is_update, double cost_seconds,
+                 std::vector<TableAccess> accesses) {
+    Query q;
+    q.text = name;
+    q.accesses = std::move(accesses);
+    q.is_update = is_update;
+    q.cost = cost_seconds;
+    queries.push_back(std::move(q));
+  };
+
+  // --- Read services (75% of the weight at factor 1) ---
+  // Product detail page: item joined with author.
+  add("app-product-detail", false, 0.002,
+      {{"item",
+        {"i_id", "i_title", "i_a_id", "i_publisher", "i_desc", "i_srp",
+         "i_cost", "i_isbn", "i_page", "i_backing"},
+        {}},
+       {"author", {"a_id", "a_fname", "a_lname", "a_bio"}, {}}});
+  // New products listing: different item/author columns, same tables.
+  add("app-new-products", false, 0.002,
+      {{"item",
+        {"i_id", "i_title", "i_a_id", "i_pub_date", "i_subject", "i_srp"},
+        {}},
+       {"author", {"a_id", "a_fname", "a_lname"}, {}}});
+  // Best sellers: the complex aggregation -- 50% of the workload weight
+  // from 1.5% of the queries. It ranks items by the sales statistics
+  // maintained on the item table (i_stock/i_avail updated by the stock
+  // service); it does not scan the order tables, which is what lets the
+  // allocator isolate the order_line write class (Eq. 30).
+  add("app-best-sellers", false, 0.033333,
+      {{"item",
+        {"i_id", "i_title", "i_a_id", "i_subject", "i_srp", "i_stock",
+         "i_avail"},
+        {}}});
+  // Order status: the only read touching order_line.
+  add("app-order-status", false, 0.004,
+      {{"customer", {"c_id", "c_uname", "c_fname", "c_lname"}, {}},
+       {"order_line",
+        {"ol_id", "ol_o_id", "ol_i_id", "ol_qty", "ol_discount"},
+        {}},
+       {"address",
+        {"addr_id", "addr_street1", "addr_city", "addr_zip", "addr_co_id"},
+        {}},
+       {"country", {"co_id", "co_name"}, {}}});
+  // Customer order history over the orders table.
+  add("app-order-history", false, 0.0026667,
+      {{"customer", {"c_id", "c_uname", "c_email", "c_phone"}, {}},
+       {"orders", {"o_id", "o_c_id", "o_date", "o_sub_total", "o_total"}, {}},
+       {"address", {"addr_id", "addr_street2", "addr_state", "addr_co_id"}, {}},
+       {"country", {"co_id", "co_currency"}, {}}});
+  // Customer profile: same tables as order history, different columns.
+  add("app-customer-profile", false, 0.0024,
+      {{"customer", {"c_id", "c_since", "c_balance", "c_discount"}, {}},
+       {"orders", {"o_id", "o_c_id", "o_status", "o_ship_date"}, {}},
+       {"address", {"addr_id", "addr_city", "addr_co_id"}, {}},
+       {"country", {"co_id", "co_name", "co_exchange"}, {}}});
+
+  // --- Update services (inserts/updates touch whole rows, so they
+  // reference every column; at column granularity this allocates the full
+  // table, as the paper observed) ---
+  add("app-orderline-insert", true, 0.0003714 * update_cost_factor,
+      {{"order_line", {}, {}}});
+  add("app-order-insert", true, 0.0003 * update_cost_factor,
+      {{"orders", {}, {}}});
+  add("app-payment-insert", true, 0.0002286 * update_cost_factor,
+      {{"cc_xacts", {}, {}}});
+  add("app-stock-update", true, 0.0001333 * update_cost_factor,
+      {{"item", {}, {}}});
+
+  return queries;
+}
+
+/// Per-template execution counts for a 200k-request run (read:write count
+/// ratio 1:7; best sellers at 1.5% of all requests).
+const uint64_t kBaseCounts[] = {
+    10000,  // product-detail      (10% weight)
+    5000,   // new-products        ( 5% weight)
+    3000,   // best-sellers        (50% weight)
+    1500,   // order-status        ( 3% weight)
+    3000,   // order-history       ( 4% weight)
+    2500,   // customer-profile    ( 3% weight)
+    70000,  // orderline-insert    (13% weight)
+    40000,  // order-insert        ( 6% weight)
+    35000,  // payment-insert      ( 4% weight)
+    30000,  // stock-update        ( 2% weight)
+};
+constexpr uint64_t kBaseTotal = 200000;
+
+QueryJournal BuildJournal(uint64_t total_queries, double update_cost_factor) {
+  const std::vector<Query> templates = BuildQueries(update_cost_factor);
+  assert(templates.size() == sizeof(kBaseCounts) / sizeof(kBaseCounts[0]));
+  QueryJournal journal;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    uint64_t count = kBaseCounts[i] * total_queries / kBaseTotal;
+    if (count == 0) count = 1;
+    journal.Record(templates[i], count);
+  }
+  return journal;
+}
+
+}  // namespace
+
+engine::Catalog TpcAppCatalog(double emulated_browsers) {
+  engine::Catalog catalog;
+  auto add = [&](TableDef def) {
+    Status st = catalog.AddTable(std::move(def));
+    assert(st.ok());
+    (void)st;
+  };
+
+  add(TableDef{
+      "customer",
+      {Col("c_id", ColumnType::kInt64, 0, true),
+       Col("c_uname", ColumnType::kChar, 20),
+       Col("c_passwd", ColumnType::kChar, 20),
+       Col("c_fname", ColumnType::kChar, 17),
+       Col("c_lname", ColumnType::kChar, 17),
+       Col("c_email", ColumnType::kVarchar, 50),
+       Col("c_phone", ColumnType::kChar, 16),
+       Col("c_addr_id", ColumnType::kInt64),
+       Col("c_since", ColumnType::kDate),
+       Col("c_balance", ColumnType::kDecimal),
+       Col("c_ytd_pmt", ColumnType::kDecimal),
+       Col("c_discount", ColumnType::kDecimal),
+       Col("c_data", ColumnType::kVarchar, 50)},
+      700});
+  add(TableDef{
+      "address",
+      {Col("addr_id", ColumnType::kInt64, 0, true),
+       Col("addr_street1", ColumnType::kVarchar, 25),
+       Col("addr_street2", ColumnType::kVarchar, 25),
+       Col("addr_city", ColumnType::kChar, 30),
+       Col("addr_state", ColumnType::kChar, 20),
+       Col("addr_zip", ColumnType::kChar, 10),
+       Col("addr_co_id", ColumnType::kInt32)},
+      900});
+  add(TableDef{
+      "country",
+      {Col("co_id", ColumnType::kInt32, 0, true),
+       Col("co_name", ColumnType::kChar, 50),
+       Col("co_currency", ColumnType::kChar, 18),
+       Col("co_exchange", ColumnType::kDecimal)},
+      92});
+  add(TableDef{
+      "author",
+      {Col("a_id", ColumnType::kInt64, 0, true),
+       Col("a_fname", ColumnType::kChar, 20),
+       Col("a_lname", ColumnType::kChar, 20),
+       Col("a_mname", ColumnType::kChar, 20),
+       Col("a_dob", ColumnType::kDate),
+       Col("a_bio", ColumnType::kVarchar, 120)},
+      250});
+  add(TableDef{
+      "item",
+      {Col("i_id", ColumnType::kInt64, 0, true),
+       Col("i_title", ColumnType::kVarchar, 60),
+       Col("i_a_id", ColumnType::kInt64),
+       Col("i_pub_date", ColumnType::kDate),
+       Col("i_publisher", ColumnType::kChar, 60),
+       Col("i_subject", ColumnType::kChar, 60),
+       Col("i_desc", ColumnType::kVarchar, 100),
+       Col("i_srp", ColumnType::kDecimal),
+       Col("i_cost", ColumnType::kDecimal),
+       Col("i_avail", ColumnType::kDate),
+       Col("i_stock", ColumnType::kInt32),
+       Col("i_isbn", ColumnType::kChar, 13),
+       Col("i_page", ColumnType::kInt32),
+       Col("i_backing", ColumnType::kChar, 15),
+       Col("i_dimensions", ColumnType::kChar, 25)},
+      400});
+  add(TableDef{
+      "orders",
+      {Col("o_id", ColumnType::kInt64, 0, true),
+       Col("o_c_id", ColumnType::kInt64),
+       Col("o_date", ColumnType::kDate),
+       Col("o_sub_total", ColumnType::kDecimal),
+       Col("o_tax", ColumnType::kDecimal),
+       Col("o_total", ColumnType::kDecimal),
+       Col("o_ship_type", ColumnType::kChar, 10),
+       Col("o_ship_date", ColumnType::kDate),
+       Col("o_bill_addr_id", ColumnType::kInt64),
+       Col("o_ship_addr_id", ColumnType::kInt64),
+       Col("o_status", ColumnType::kChar, 16)},
+      900});
+  add(TableDef{
+      "order_line",
+      {Col("ol_id", ColumnType::kInt64, 0, true),
+       Col("ol_o_id", ColumnType::kInt64),
+       Col("ol_i_id", ColumnType::kInt64),
+       Col("ol_qty", ColumnType::kInt32),
+       Col("ol_discount", ColumnType::kDecimal),
+       Col("ol_comments", ColumnType::kVarchar, 30)},
+      2700});
+  add(TableDef{
+      "cc_xacts",
+      {Col("cx_o_id", ColumnType::kInt64, 0, true),
+       Col("cx_type", ColumnType::kChar, 10),
+       Col("cx_num", ColumnType::kChar, 16),
+       Col("cx_name", ColumnType::kChar, 30),
+       Col("cx_expire", ColumnType::kDate),
+       Col("cx_auth_id", ColumnType::kChar, 15),
+       Col("cx_xact_amt", ColumnType::kDecimal),
+       Col("cx_xact_date", ColumnType::kDate),
+       Col("cx_co_id", ColumnType::kInt32)},
+      900});
+
+  catalog.SetScaleFactor(emulated_browsers);
+  return catalog;
+}
+
+std::vector<Query> TpcAppQueries() { return BuildQueries(1.0); }
+
+QueryJournal TpcAppJournal(uint64_t total_queries) {
+  return BuildJournal(total_queries, 1.0);
+}
+
+QueryJournal TpcAppLargeJournal(uint64_t total_queries) {
+  return BuildJournal(total_queries, 3.0);
+}
+
+}  // namespace qcap::workloads

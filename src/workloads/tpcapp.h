@@ -1,0 +1,39 @@
+// TPC-App-style workload model (Section 4.2).
+//
+// Simulation of the benchmark's online-bookseller web services against a
+// custom schema, reproducing the workload shape the paper reports:
+//   - read:write query count ratio of about 1:7,
+//   - reads producing ~3x the processing weight of the writes
+//     (75% / 25% weight split),
+//   - one complex read class ("best sellers") with 50% of the workload
+//     weight from only 1.5% of the queries,
+//   - Order_Line inserts at ~13% of the weight (the class that bounds the
+//     theoretical speedup at |B|/1.3, Eq. 30),
+//   - 8 query classes at table granularity and 10 at column granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "workload/journal.h"
+
+namespace qcap::workloads {
+
+/// TPC-App schema, scaled by emulated browsers: EB=300 is the paper's
+/// ~280 MB configuration, EB=12000 the ~8 GB large-scale configuration.
+engine::Catalog TpcAppCatalog(double emulated_browsers = 300.0);
+
+/// The web-service query templates (6 reads + 4 updates) with structured
+/// column references and per-execution costs in seconds.
+std::vector<Query> TpcAppQueries();
+
+/// A journal with the paper's mix (see file header); \p total_queries
+/// defaults to the paper's ~200,000 requests.
+QueryJournal TpcAppJournal(uint64_t total_queries = 200000);
+
+/// The large-scale variant (Fig. 4i): update weight is raised to ~50% of
+/// the workload (1:1 read:update weight) with more expensive updates.
+QueryJournal TpcAppLargeJournal(uint64_t total_queries = 200000);
+
+}  // namespace qcap::workloads

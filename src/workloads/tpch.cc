@@ -1,0 +1,270 @@
+#include "workloads/tpch.h"
+
+#include <cassert>
+
+namespace qcap::workloads {
+
+using engine::ColumnDef;
+using engine::ColumnType;
+using engine::TableDef;
+
+namespace {
+
+ColumnDef Col(const char* name, ColumnType type, uint32_t width = 0,
+              bool pk = false) {
+  return ColumnDef{name, type, width, pk};
+}
+
+}  // namespace
+
+engine::Catalog TpchCatalog(double scale_factor) {
+  engine::Catalog catalog;
+  auto add = [&](TableDef def) {
+    Status st = catalog.AddTable(std::move(def));
+    assert(st.ok());
+    (void)st;
+  };
+
+  add(TableDef{
+      "region",
+      {Col("r_regionkey", ColumnType::kInt32, 0, true),
+       Col("r_name", ColumnType::kChar, 25),
+       Col("r_comment", ColumnType::kVarchar, 100)},
+      5});
+  add(TableDef{
+      "nation",
+      {Col("n_nationkey", ColumnType::kInt32, 0, true),
+       Col("n_name", ColumnType::kChar, 25),
+       Col("n_regionkey", ColumnType::kInt32),
+       Col("n_comment", ColumnType::kVarchar, 100)},
+      25});
+  add(TableDef{
+      "supplier",
+      {Col("s_suppkey", ColumnType::kInt32, 0, true),
+       Col("s_name", ColumnType::kChar, 25),
+       Col("s_address", ColumnType::kVarchar, 30),
+       Col("s_nationkey", ColumnType::kInt32),
+       Col("s_phone", ColumnType::kChar, 15),
+       Col("s_acctbal", ColumnType::kDecimal),
+       Col("s_comment", ColumnType::kVarchar, 75)},
+      10000});
+  add(TableDef{
+      "customer",
+      {Col("c_custkey", ColumnType::kInt32, 0, true),
+       Col("c_name", ColumnType::kVarchar, 25),
+       Col("c_address", ColumnType::kVarchar, 30),
+       Col("c_nationkey", ColumnType::kInt32),
+       Col("c_phone", ColumnType::kChar, 15),
+       Col("c_acctbal", ColumnType::kDecimal),
+       Col("c_mktsegment", ColumnType::kChar, 10),
+       Col("c_comment", ColumnType::kVarchar, 90)},
+      150000});
+  add(TableDef{
+      "part",
+      {Col("p_partkey", ColumnType::kInt32, 0, true),
+       Col("p_name", ColumnType::kVarchar, 40),
+       Col("p_mfgr", ColumnType::kChar, 25),
+       Col("p_brand", ColumnType::kChar, 10),
+       Col("p_type", ColumnType::kVarchar, 20),
+       Col("p_size", ColumnType::kInt32),
+       Col("p_container", ColumnType::kChar, 10),
+       Col("p_retailprice", ColumnType::kDecimal),
+       Col("p_comment", ColumnType::kVarchar, 15)},
+      200000});
+  add(TableDef{
+      "partsupp",
+      {Col("ps_partkey", ColumnType::kInt32, 0, true),
+       Col("ps_suppkey", ColumnType::kInt32, 0, true),
+       Col("ps_availqty", ColumnType::kInt32),
+       Col("ps_supplycost", ColumnType::kDecimal),
+       Col("ps_comment", ColumnType::kVarchar, 125)},
+      800000});
+  add(TableDef{
+      "orders",
+      {Col("o_orderkey", ColumnType::kInt32, 0, true),
+       Col("o_custkey", ColumnType::kInt32),
+       Col("o_orderstatus", ColumnType::kChar, 1),
+       Col("o_totalprice", ColumnType::kDecimal),
+       Col("o_orderdate", ColumnType::kDate),
+       Col("o_orderpriority", ColumnType::kChar, 15),
+       Col("o_clerk", ColumnType::kChar, 15),
+       Col("o_shippriority", ColumnType::kInt32),
+       Col("o_comment", ColumnType::kVarchar, 50)},
+      1500000});
+  add(TableDef{
+      "lineitem",
+      {Col("l_orderkey", ColumnType::kInt32, 0, true),
+       Col("l_partkey", ColumnType::kInt32),
+       Col("l_suppkey", ColumnType::kInt32),
+       Col("l_linenumber", ColumnType::kInt32, 0, true),
+       Col("l_quantity", ColumnType::kDecimal),
+       Col("l_extendedprice", ColumnType::kDecimal),
+       Col("l_discount", ColumnType::kDecimal),
+       Col("l_tax", ColumnType::kDecimal),
+       Col("l_returnflag", ColumnType::kChar, 1),
+       Col("l_linestatus", ColumnType::kChar, 1),
+       Col("l_shipdate", ColumnType::kDate),
+       Col("l_commitdate", ColumnType::kDate),
+       Col("l_receiptdate", ColumnType::kDate),
+       Col("l_shipinstruct", ColumnType::kChar, 25),
+       Col("l_shipmode", ColumnType::kChar, 10),
+       Col("l_comment", ColumnType::kVarchar, 27)},
+      6000000});
+
+  catalog.SetScaleFactor(scale_factor);
+  return catalog;
+}
+
+std::vector<Query> TpchQueries() {
+  std::vector<Query> queries;
+  auto read = [&](const char* name, double cost_seconds,
+                  std::vector<TableAccess> accesses) {
+    Query q;
+    q.text = name;
+    q.accesses = std::move(accesses);
+    q.is_update = false;
+    q.cost = cost_seconds;
+    queries.push_back(std::move(q));
+  };
+
+  // Column references per TPC-H template; per-execution costs are
+  // calibrated to single-node PostgreSQL at SF 1 (relative magnitudes are
+  // what matters: the paper notes classes "differ considerably in weight").
+  read("tpch-q1", 12.0,
+       {{"lineitem",
+         {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+          "l_discount", "l_tax", "l_shipdate"},
+         {}}});
+  read("tpch-q2", 1.5,
+       {{"part", {"p_partkey", "p_mfgr", "p_size", "p_type"}, {}},
+        {"supplier",
+         {"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+          "s_acctbal", "s_comment"},
+         {}},
+        {"partsupp", {"ps_partkey", "ps_suppkey", "ps_supplycost"}, {}},
+        {"nation", {"n_nationkey", "n_name", "n_regionkey"}, {}},
+        {"region", {"r_regionkey", "r_name"}, {}}});
+  read("tpch-q3", 5.0,
+       {{"customer", {"c_custkey", "c_mktsegment"}, {}},
+        {"orders",
+         {"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"},
+         {}},
+        {"lineitem",
+         {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"},
+         {}}});
+  read("tpch-q4", 3.0,
+       {{"orders", {"o_orderkey", "o_orderdate", "o_orderpriority"}, {}},
+        {"lineitem", {"l_orderkey", "l_commitdate", "l_receiptdate"}, {}}});
+  read("tpch-q5", 5.0,
+       {{"customer", {"c_custkey", "c_nationkey"}, {}},
+        {"orders", {"o_orderkey", "o_custkey", "o_orderdate"}, {}},
+        {"lineitem",
+         {"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"},
+         {}},
+        {"supplier", {"s_suppkey", "s_nationkey"}, {}},
+        {"nation", {"n_nationkey", "n_name", "n_regionkey"}, {}},
+        {"region", {"r_regionkey", "r_name"}, {}}});
+  read("tpch-q6", 2.0,
+       {{"lineitem",
+         {"l_shipdate", "l_quantity", "l_extendedprice", "l_discount"},
+         {}}});
+  read("tpch-q7", 5.0,
+       {{"supplier", {"s_suppkey", "s_nationkey"}, {}},
+        {"lineitem",
+         {"l_orderkey", "l_suppkey", "l_shipdate", "l_extendedprice",
+          "l_discount"},
+         {}},
+        {"orders", {"o_orderkey", "o_custkey"}, {}},
+        {"customer", {"c_custkey", "c_nationkey"}, {}},
+        {"nation", {"n_nationkey", "n_name"}, {}}});
+  read("tpch-q8", 5.0,
+       {{"part", {"p_partkey", "p_type"}, {}},
+        {"supplier", {"s_suppkey", "s_nationkey"}, {}},
+        {"lineitem",
+         {"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice",
+          "l_discount"},
+         {}},
+        {"orders", {"o_orderkey", "o_custkey", "o_orderdate"}, {}},
+        {"customer", {"c_custkey", "c_nationkey"}, {}},
+        {"nation", {"n_nationkey", "n_name", "n_regionkey"}, {}},
+        {"region", {"r_regionkey", "r_name"}, {}}});
+  read("tpch-q9", 18.0,
+       {{"part", {"p_partkey", "p_name"}, {}},
+        {"supplier", {"s_suppkey", "s_nationkey"}, {}},
+        {"lineitem",
+         {"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+          "l_extendedprice", "l_discount"},
+         {}},
+        {"partsupp", {"ps_partkey", "ps_suppkey", "ps_supplycost"}, {}},
+        {"orders", {"o_orderkey", "o_orderdate"}, {}},
+        {"nation", {"n_nationkey", "n_name"}, {}}});
+  read("tpch-q10", 5.0,
+       {{"customer",
+         {"c_custkey", "c_name", "c_acctbal", "c_phone", "c_address",
+          "c_comment", "c_nationkey"},
+         {}},
+        {"orders", {"o_orderkey", "o_custkey", "o_orderdate"}, {}},
+        {"lineitem",
+         {"l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"},
+         {}},
+        {"nation", {"n_nationkey", "n_name"}, {}}});
+  read("tpch-q11", 1.0,
+       {{"partsupp",
+         {"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"},
+         {}},
+        {"supplier", {"s_suppkey", "s_nationkey"}, {}},
+        {"nation", {"n_nationkey", "n_name"}, {}}});
+  read("tpch-q12", 3.0,
+       {{"orders", {"o_orderkey", "o_orderpriority"}, {}},
+        {"lineitem",
+         {"l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate",
+          "l_shipdate"},
+         {}}});
+  read("tpch-q13", 8.0,
+       {{"customer", {"c_custkey"}, {}},
+        {"orders", {"o_orderkey", "o_custkey", "o_comment"}, {}}});
+  read("tpch-q14", 2.5,
+       {{"lineitem",
+         {"l_partkey", "l_shipdate", "l_extendedprice", "l_discount"},
+         {}},
+        {"part", {"p_partkey", "p_type"}, {}}});
+  read("tpch-q15", 2.5,
+       {{"lineitem",
+         {"l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"},
+         {}},
+        {"supplier", {"s_suppkey", "s_name", "s_address", "s_phone"}, {}}});
+  read("tpch-q16", 1.5,
+       {{"partsupp", {"ps_partkey", "ps_suppkey"}, {}},
+        {"part", {"p_partkey", "p_brand", "p_type", "p_size"}, {}},
+        {"supplier", {"s_suppkey", "s_comment"}, {}}});
+  read("tpch-q18", 15.0,
+       {{"customer", {"c_custkey", "c_name"}, {}},
+        {"orders",
+         {"o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"},
+         {}},
+        {"lineitem", {"l_orderkey", "l_quantity"}, {}}});
+  read("tpch-q19", 2.5,
+       {{"lineitem",
+         {"l_partkey", "l_quantity", "l_extendedprice", "l_discount",
+          "l_shipmode", "l_shipinstruct"},
+         {}},
+        {"part", {"p_partkey", "p_brand", "p_container", "p_size"}, {}}});
+  read("tpch-q22", 1.0,
+       {{"customer", {"c_custkey", "c_phone", "c_acctbal"}, {}},
+        {"orders", {"o_custkey"}, {}}});
+
+  return queries;
+}
+
+QueryJournal TpchJournal(uint64_t total_queries) {
+  const std::vector<Query> templates = TpchQueries();
+  QueryJournal journal;
+  const uint64_t per_template = total_queries / templates.size();
+  const uint64_t remainder = total_queries % templates.size();
+  for (size_t i = 0; i < templates.size(); ++i) {
+    journal.Record(templates[i], per_template + (i < remainder ? 1 : 0));
+  }
+  return journal;
+}
+
+}  // namespace qcap::workloads

@@ -1,0 +1,30 @@
+// TPC-H-style workload model (Section 4.1).
+//
+// Reproduces the inputs the paper's read-only experiments need: the 8-table
+// schema with per-column physical sizes (SF 1 = ~1 GB), and the 19 query
+// templates the paper used (TPC-H minus Q17/Q20/Q21, which its PostgreSQL
+// backends could not process in reasonable time). Each template carries the
+// tables/columns it references and a per-execution cost profile consistent
+// with single-node PostgreSQL at SF 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "workload/journal.h"
+
+namespace qcap::workloads {
+
+/// The TPC-H schema; call SetScaleFactor() on the result for other SFs.
+engine::Catalog TpchCatalog(double scale_factor = 1.0);
+
+/// The 19 query templates (Q17/Q20/Q21 omitted as in the paper), with
+/// structured column references and per-execution costs in seconds.
+std::vector<Query> TpchQueries();
+
+/// A journal of \p total_queries drawn uniformly over the templates,
+/// mirroring the official query generator's round-robin streams.
+QueryJournal TpchJournal(uint64_t total_queries = 10000);
+
+}  // namespace qcap::workloads

@@ -1,0 +1,189 @@
+#include "workloads/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace qcap::workloads {
+
+using engine::ColumnDef;
+using engine::ColumnType;
+using engine::TableDef;
+
+namespace {
+
+constexpr double kHour = 3600.0;
+
+double Logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+ColumnDef Col(const char* name, ColumnType type, uint32_t width = 0,
+              bool pk = false) {
+  return ColumnDef{name, type, width, pk};
+}
+
+}  // namespace
+
+double DiurnalRate(double tod_seconds) {
+  const double t = tod_seconds / kHour;  // Hours.
+  // Night floor, steep morning ramp (~8:30), evening decline (~22:30).
+  const double ramp_up = Logistic((t - 8.5) / 0.8);
+  const double ramp_down = 1.0 - Logistic((t - 22.5) / 0.8);
+  double rate = 250.0 + 3900.0 * ramp_up * ramp_down;
+  // Mild early-evening peak around 19:00 (Figure 4's maximum).
+  rate += 450.0 * std::exp(-0.5 * std::pow((t - 19.0) / 2.0, 2.0));
+  return rate;
+}
+
+std::vector<double> DiurnalClassMix(double tod_seconds) {
+  const double t = tod_seconds / kHour;
+  // "night" is high between ~3:00 and ~8:00.
+  const double night = Logistic((t - 3.0) / 0.7) * (1.0 - Logistic((t - 8.0) / 0.7));
+  const double day = 1.0 - night;
+  // Day mix vs night mix (class B = index 1 dominates at night).
+  const double day_mix[kTraceClasses] = {0.30, 0.10, 0.25, 0.20, 0.15};
+  const double night_mix[kTraceClasses] = {0.15, 0.55, 0.10, 0.10, 0.10};
+  std::vector<double> mix(kTraceClasses);
+  double total = 0.0;
+  for (size_t i = 0; i < kTraceClasses; ++i) {
+    mix[i] = day * day_mix[i] + night * night_mix[i];
+    total += mix[i];
+  }
+  for (double& m : mix) m /= total;
+  return mix;
+}
+
+std::vector<TracePoint> SampleDay(uint64_t seed, double bucket_seconds) {
+  Rng rng(seed);
+  std::vector<TracePoint> points;
+  for (double t = 0.0; t < 86400.0; t += bucket_seconds) {
+    TracePoint p;
+    p.tod_seconds = t;
+    const double noise = 1.0 + 0.08 * rng.NextGaussian(0.0, 1.0);
+    p.requests_per_10min =
+        std::max(50.0, DiurnalRate(t) * noise * (bucket_seconds / 600.0));
+    const std::vector<double> mix = DiurnalClassMix(t);
+    p.class_requests.resize(kTraceClasses);
+    for (size_t i = 0; i < kTraceClasses; ++i) {
+      p.class_requests[i] = p.requests_per_10min * mix[i];
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+engine::Catalog TraceCatalog() {
+  engine::Catalog catalog;
+  auto add = [&](TableDef def) {
+    Status st = catalog.AddTable(std::move(def));
+    assert(st.ok());
+    (void)st;
+  };
+  add(TableDef{"users",
+               {Col("u_id", ColumnType::kInt64, 0, true),
+                Col("u_name", ColumnType::kVarchar, 40),
+                Col("u_email", ColumnType::kVarchar, 50),
+                Col("u_role", ColumnType::kChar, 10),
+                Col("u_last_login", ColumnType::kDate)},
+               20000});
+  add(TableDef{"courses",
+               {Col("cr_id", ColumnType::kInt64, 0, true),
+                Col("cr_title", ColumnType::kVarchar, 80),
+                Col("cr_term", ColumnType::kChar, 12),
+                Col("cr_teacher", ColumnType::kInt64)},
+               800});
+  add(TableDef{"enrollment",
+               {Col("e_user", ColumnType::kInt64, 0, true),
+                Col("e_course", ColumnType::kInt64, 0, true),
+                Col("e_state", ColumnType::kChar, 8),
+                Col("e_joined", ColumnType::kDate)},
+               120000});
+  add(TableDef{"content",
+               {Col("ct_id", ColumnType::kInt64, 0, true),
+                Col("ct_course", ColumnType::kInt64),
+                Col("ct_title", ColumnType::kVarchar, 80),
+                Col("ct_body", ColumnType::kVarchar, 900),
+                Col("ct_updated", ColumnType::kDate)},
+               50000});
+  add(TableDef{"forum_posts",
+               {Col("fp_id", ColumnType::kInt64, 0, true),
+                Col("fp_thread", ColumnType::kInt64),
+                Col("fp_user", ColumnType::kInt64),
+                Col("fp_body", ColumnType::kVarchar, 400),
+                Col("fp_posted", ColumnType::kDate)},
+               250000});
+  add(TableDef{"grades",
+               {Col("g_user", ColumnType::kInt64, 0, true),
+                Col("g_course", ColumnType::kInt64, 0, true),
+                Col("g_item", ColumnType::kInt64, 0, true),
+                Col("g_score", ColumnType::kDecimal),
+                Col("g_graded", ColumnType::kDate)},
+               400000});
+  add(TableDef{"sessions_log",
+               {Col("sl_id", ColumnType::kInt64, 0, true),
+                Col("sl_user", ColumnType::kInt64),
+                Col("sl_action", ColumnType::kChar, 16),
+                Col("sl_time", ColumnType::kDate)},
+               1000000});
+  return catalog;
+}
+
+std::vector<Query> TraceQueries() {
+  std::vector<Query> queries;
+  auto add = [&](const char* name, bool is_update, double cost_seconds,
+                 std::vector<TableAccess> accesses) {
+    Query q;
+    q.text = name;
+    q.accesses = std::move(accesses);
+    q.is_update = is_update;
+    q.cost = cost_seconds;
+    queries.push_back(std::move(q));
+  };
+  // Class A: content browsing.
+  add("trace-a-content", false, 0.005,
+      {{"content", {"ct_id", "ct_course", "ct_title", "ct_body"}, {}},
+       {"courses", {"cr_id", "cr_title"}, {}}});
+  // Class B: nightly grade/report batch (heavy).
+  add("trace-b-reports", false, 0.040,
+      {{"grades", {}, {}},
+       {"enrollment", {"e_user", "e_course", "e_state"}, {}},
+       {"users", {"u_id", "u_name", "u_role"}, {}}});
+  // Class C: forum reading.
+  add("trace-c-forum", false, 0.006,
+      {{"forum_posts", {"fp_id", "fp_thread", "fp_user", "fp_body"}, {}},
+       {"users", {"u_id", "u_name"}, {}}});
+  // Class D: dashboards.
+  add("trace-d-dashboard", false, 0.008,
+      {{"enrollment", {"e_user", "e_course", "e_joined"}, {}},
+       {"courses", {"cr_id", "cr_title", "cr_term"}, {}},
+       {"users", {"u_id", "u_name", "u_last_login"}, {}}});
+  // Class E: session logging (update).
+  add("trace-e-sessions", true, 0.002, {{"sessions_log", {}, {}}});
+  return queries;
+}
+
+QueryJournal TraceJournal(uint64_t queries_per_day, uint64_t seed) {
+  const std::vector<Query> templates = TraceQueries();
+  assert(templates.size() == kTraceClasses);
+  const std::vector<TracePoint> day = SampleDay(seed, 600.0);
+
+  double trace_total = 0.0;
+  for (const auto& p : day) trace_total += p.requests_per_10min;
+  const double scale = static_cast<double>(queries_per_day) / trace_total;
+
+  Rng rng(seed ^ 0x5eedULL);
+  QueryJournal journal;
+  for (const auto& p : day) {
+    for (size_t c = 0; c < kTraceClasses; ++c) {
+      const auto count = static_cast<uint64_t>(p.class_requests[c] * scale);
+      for (uint64_t i = 0; i < count; ++i) {
+        const double ts = p.tod_seconds + rng.NextDouble() * 600.0;
+        journal.RecordAt(templates[c], ts);
+      }
+    }
+  }
+  return journal;
+}
+
+}  // namespace qcap::workloads

@@ -1,0 +1,55 @@
+// Synthetic diurnal workload trace (Section 5).
+//
+// Substitute for the paper's private e-learning backend trace (Oct 20,
+// 2009), which could not be published. Reproduces the visible features of
+// Figures 4-6: a night trough around 3-6 am, a steep morning ramp, an
+// afternoon/evening plateau around 4,000-4,500 requests per 10 minutes,
+// and a per-class mix that shifts over the day (class B dominates 3-8 am).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "workload/journal.h"
+
+namespace qcap::workloads {
+
+/// Number of query classes in the trace (classes A-E of Figure 6).
+inline constexpr size_t kTraceClasses = 5;
+
+/// Smooth base request rate in requests per 10 minutes at \p tod_seconds
+/// (time of day in [0, 86400)).
+double DiurnalRate(double tod_seconds);
+
+/// Relative class mix (size kTraceClasses, sums to 1) at \p tod_seconds.
+/// Class B (index 1) dominates at night, the interactive classes dominate
+/// during the day.
+std::vector<double> DiurnalClassMix(double tod_seconds);
+
+/// One sampled point of the trace.
+struct TracePoint {
+  double tod_seconds = 0.0;
+  /// Total requests in the 10-minute bucket (noisy around DiurnalRate).
+  double requests_per_10min = 0.0;
+  /// Per-class requests in the bucket.
+  std::vector<double> class_requests;
+};
+
+/// Samples a full day in \p bucket_seconds buckets with multiplicative
+/// noise; deterministic for a given \p seed.
+std::vector<TracePoint> SampleDay(uint64_t seed, double bucket_seconds = 600.0);
+
+/// The query templates behind trace classes A-E (reads over an e-learning
+/// style schema plus one update class embedded in class E).
+std::vector<Query> TraceQueries();
+
+/// Schema for the trace queries.
+engine::Catalog TraceCatalog();
+
+/// Builds a timestamped journal of one day at \p queries_per_day total
+/// executions following the diurnal rate and mix. Timestamps enable
+/// workload segmentation.
+QueryJournal TraceJournal(uint64_t queries_per_day, uint64_t seed);
+
+}  // namespace qcap::workloads

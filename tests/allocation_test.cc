@@ -1,0 +1,92 @@
+#include "model/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qcap {
+namespace {
+
+TEST(AllocationTest, EmptyAllocation) {
+  Allocation a(2, 3, 4, 1);
+  EXPECT_EQ(a.num_backends(), 2u);
+  EXPECT_EQ(a.num_fragments(), 3u);
+  EXPECT_EQ(a.num_reads(), 4u);
+  EXPECT_EQ(a.num_updates(), 1u);
+  EXPECT_FALSE(a.IsPlaced(0, 0));
+  EXPECT_DOUBLE_EQ(a.AssignedLoad(0), 0.0);
+  EXPECT_TRUE(a.BackendFragments(0).empty());
+}
+
+TEST(AllocationTest, PlaceIsIdempotent) {
+  Allocation a(2, 3, 1, 0);
+  a.Place(0, 1);
+  a.Place(0, 1);
+  EXPECT_TRUE(a.IsPlaced(0, 1));
+  EXPECT_EQ(a.BackendFragments(0), (FragmentSet{1}));
+  EXPECT_EQ(a.ReplicaCount(1), 1u);
+}
+
+TEST(AllocationTest, PlaceSetAndHoldsAll) {
+  Allocation a(2, 4, 1, 0);
+  a.PlaceSet(1, {0, 2, 3});
+  EXPECT_TRUE(a.HoldsAll(1, {0, 2}));
+  EXPECT_FALSE(a.HoldsAll(1, {0, 1}));
+  EXPECT_TRUE(a.HoldsAll(1, {}));  // Vacuous truth.
+  EXPECT_EQ(a.BackendFragments(1), (FragmentSet{0, 2, 3}));
+}
+
+TEST(AllocationTest, ReplicaCountAcrossBackends) {
+  Allocation a(3, 2, 1, 0);
+  a.Place(0, 0);
+  a.Place(1, 0);
+  a.Place(2, 0);
+  a.Place(1, 1);
+  EXPECT_EQ(a.ReplicaCount(0), 3u);
+  EXPECT_EQ(a.ReplicaCount(1), 1u);
+}
+
+TEST(AllocationTest, BackendBytes) {
+  Classification cls = testutil::Figure2Classification();
+  Allocation a(2, 3, 4, 0);
+  a.PlaceSet(0, {0, 1});
+  a.Place(1, 2);
+  EXPECT_DOUBLE_EQ(a.BackendBytes(0, cls.catalog), 2.0);
+  EXPECT_DOUBLE_EQ(a.BackendBytes(1, cls.catalog), 1.0);
+}
+
+TEST(AllocationTest, ReadAssignAccessors) {
+  Allocation a(2, 3, 2, 1);
+  a.set_read_assign(0, 1, 0.25);
+  a.add_read_assign(0, 1, 0.05);
+  EXPECT_DOUBLE_EQ(a.read_assign(0, 1), 0.30);
+  EXPECT_DOUBLE_EQ(a.TotalReadAssign(1), 0.30);
+  a.set_read_assign(1, 1, 0.10);
+  EXPECT_DOUBLE_EQ(a.TotalReadAssign(1), 0.40);
+}
+
+TEST(AllocationTest, AssignedLoadSumsReadsAndUpdates) {
+  Allocation a(2, 3, 2, 2);
+  a.set_read_assign(0, 0, 0.2);
+  a.set_read_assign(0, 1, 0.1);
+  a.set_update_assign(0, 0, 0.05);
+  a.set_update_assign(0, 1, 0.15);
+  EXPECT_DOUBLE_EQ(a.AssignedReadLoad(0), 0.3);
+  EXPECT_DOUBLE_EQ(a.AssignedUpdateLoad(0), 0.2);
+  EXPECT_DOUBLE_EQ(a.AssignedLoad(0), 0.5);
+  EXPECT_DOUBLE_EQ(a.AssignedLoad(1), 0.0);
+}
+
+TEST(AllocationTest, ToStringMentionsAssignmentsAndFragments) {
+  Classification cls = testutil::Figure2Classification();
+  Allocation a(2, 3, 4, 0);
+  a.PlaceSet(0, {0, 1});
+  a.set_read_assign(0, 0, 0.30);
+  const std::string s = a.ToString(cls);
+  EXPECT_NE(s.find("C1"), std::string::npos);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("30.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,60 @@
+#include "model/backend.h"
+
+#include <gtest/gtest.h>
+
+namespace qcap {
+namespace {
+
+TEST(BackendTest, HomogeneousSharesSumToOne) {
+  for (size_t n : {1, 2, 3, 7, 10}) {
+    const auto backends = HomogeneousBackends(n);
+    ASSERT_EQ(backends.size(), n);
+    double total = 0.0;
+    for (const auto& b : backends) {
+      EXPECT_DOUBLE_EQ(b.relative_load, 1.0 / static_cast<double>(n));
+      total += b.relative_load;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_TRUE(ValidateBackends(backends).ok());
+  }
+}
+
+TEST(BackendTest, HomogeneousNames) {
+  const auto backends = HomogeneousBackends(3);
+  EXPECT_EQ(backends[0].name, "B1");
+  EXPECT_EQ(backends[2].name, "B3");
+}
+
+TEST(BackendTest, HeterogeneousNormalizes) {
+  auto r = HeterogeneousBackends({3.0, 3.0, 2.0, 2.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value()[0].relative_load, 0.3, 1e-12);
+  EXPECT_NEAR(r.value()[3].relative_load, 0.2, 1e-12);
+  EXPECT_TRUE(ValidateBackends(r.value()).ok());
+}
+
+TEST(BackendTest, HeterogeneousRejectsEmpty) {
+  EXPECT_FALSE(HeterogeneousBackends({}).ok());
+}
+
+TEST(BackendTest, HeterogeneousRejectsNonPositive) {
+  EXPECT_FALSE(HeterogeneousBackends({1.0, 0.0}).ok());
+  EXPECT_FALSE(HeterogeneousBackends({1.0, -2.0}).ok());
+}
+
+TEST(BackendTest, ValidateRejectsBadSum) {
+  std::vector<BackendSpec> backends = {{0.5, "B1"}, {0.6, "B2"}};
+  EXPECT_FALSE(ValidateBackends(backends).ok());
+}
+
+TEST(BackendTest, ValidateRejectsEmpty) {
+  EXPECT_FALSE(ValidateBackends({}).ok());
+}
+
+TEST(BackendTest, ValidateRejectsZeroLoad) {
+  std::vector<BackendSpec> backends = {{1.0, "B1"}, {0.0, "B2"}};
+  EXPECT_FALSE(ValidateBackends(backends).ok());
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,224 @@
+#include "workload/classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace qcap {
+namespace {
+
+engine::Catalog SmallSchema() {
+  engine::Catalog catalog;
+  engine::TableDef a{"A",
+                     {{"a_key", engine::ColumnType::kInt64, 0, true},
+                      {"a_val", engine::ColumnType::kVarchar, 40, false}},
+                     1000};
+  engine::TableDef b{"B",
+                     {{"b_key", engine::ColumnType::kInt64, 0, true},
+                      {"b_x", engine::ColumnType::kInt32, 0, false},
+                      {"b_y", engine::ColumnType::kDecimal, 0, false}},
+                     1000};
+  engine::TableDef c{"C",
+                     {{"c_key", engine::ColumnType::kInt64, 0, true},
+                      {"c_val", engine::ColumnType::kChar, 20, false}},
+                     1000};
+  EXPECT_TRUE(catalog.AddTable(a).ok());
+  EXPECT_TRUE(catalog.AddTable(b).ok());
+  EXPECT_TRUE(catalog.AddTable(c).ok());
+  return catalog;
+}
+
+/// The running example of Section 3 / Figure 2: C1={A} 30%, C2={B} 25%,
+/// C3={C} 25%, C4={A,B} 20%.
+QueryJournal Figure2Journal() {
+  QueryJournal j;
+  j.Record(Query::Read("c1", {"A"}), 30);
+  j.Record(Query::Read("c2", {"B"}), 25);
+  j.Record(Query::Read("c3", {"C"}), 25);
+  j.Record(Query::Read("c4", {"A", "B"}), 20);
+  return j;
+}
+
+TEST(ClassifierTest, TableGranularityFigure2) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto result = classifier.Classify(Figure2Journal());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Classification& cls = result.value();
+  EXPECT_EQ(cls.catalog.size(), 3u);  // One fragment per table.
+  EXPECT_EQ(cls.reads.size(), 4u);
+  EXPECT_EQ(cls.updates.size(), 0u);
+  // Labels are assigned in descending weight order.
+  EXPECT_EQ(cls.reads[0].label, "Q1");
+  EXPECT_NEAR(cls.reads[0].weight, 0.30, 1e-12);
+  EXPECT_NEAR(cls.reads[1].weight, 0.25, 1e-12);
+  EXPECT_NEAR(cls.reads[2].weight, 0.25, 1e-12);
+  EXPECT_NEAR(cls.reads[3].weight, 0.20, 1e-12);
+  EXPECT_TRUE(cls.Validate().ok());
+}
+
+TEST(ClassifierTest, WeightsUseCostTimesCount) {
+  engine::Catalog catalog = SmallSchema();
+  QueryJournal j;
+  j.Record(Query::Read("cheap", {"A"}, 1.0), 90);   // cost 90
+  j.Record(Query::Read("pricey", {"B"}, 10.0), 1);  // cost 10
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->reads[0].weight, 0.9, 1e-12);
+  EXPECT_NEAR(result->reads[1].weight, 0.1, 1e-12);
+  // Mean per-execution costs preserved.
+  EXPECT_NEAR(result->reads[0].mean_cost, 1.0, 1e-12);
+  EXPECT_NEAR(result->reads[1].mean_cost, 10.0, 1e-12);
+}
+
+TEST(ClassifierTest, IdenticalFragmentSetsMerge) {
+  engine::Catalog catalog = SmallSchema();
+  QueryJournal j;
+  j.Record(Query::Read("x", {"A"}), 10);
+  j.Record(Query::Read("y", {"A"}), 10);  // Same table set -> same class.
+  j.Record(Query::Read("z", {"B"}), 10);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reads.size(), 2u);
+  EXPECT_NEAR(result->reads[0].weight, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ClassifierTest, ReadsAndUpdatesSeparateClasses) {
+  engine::Catalog catalog = SmallSchema();
+  QueryJournal j;
+  j.Record(Query::Read("r", {"A"}), 10);
+  j.Record(Query::Update("u", {"A"}), 10);  // Same set, but update.
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reads.size(), 1u);
+  EXPECT_EQ(result->updates.size(), 1u);
+  EXPECT_TRUE(result->updates[0].is_update);
+  EXPECT_NEAR(result->TotalWeight(), 1.0, 1e-12);
+}
+
+TEST(ClassifierTest, ColumnGranularityBuildsColumnFragments) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kColumn, 4, true});
+  QueryJournal j;
+  Query q = Query::Read("q", {});
+  q.accesses.push_back({"B", {"b_x"}, {}});
+  j.Record(q, 1);
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  // 2 + 3 + 2 columns in the schema.
+  EXPECT_EQ(result->catalog.size(), 7u);
+  // Candidate key b_key added to the referenced column set.
+  const QueryClass& c = result->reads[0];
+  EXPECT_EQ(c.fragments.size(), 2u);
+  EXPECT_EQ(result->catalog.Get(c.fragments[0]).name, "B.b_key");
+  EXPECT_EQ(result->catalog.Get(c.fragments[1]).name, "B.b_x");
+}
+
+TEST(ClassifierTest, ColumnGranularityWithoutCandidateKeys) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kColumn, 4, false});
+  QueryJournal j;
+  Query q = Query::Read("q", {});
+  q.accesses.push_back({"B", {"b_x"}, {}});
+  j.Record(q, 1);
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reads[0].fragments.size(), 1u);
+}
+
+TEST(ClassifierTest, EmptyColumnListMeansAllColumns) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kColumn, 4, true});
+  QueryJournal j;
+  j.Record(Query::Read("q", {"B"}), 1);  // Whole table.
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reads[0].fragments.size(), 3u);
+}
+
+TEST(ClassifierTest, HorizontalGranularity) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kHorizontal, 4, true});
+  QueryJournal j;
+  Query q = Query::Read("q", {});
+  q.accesses.push_back({"A", {}, {0, 2}});
+  j.Record(q, 1);
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->catalog.size(), 12u);  // 3 tables x 4 partitions.
+  EXPECT_EQ(result->reads[0].fragments.size(), 2u);
+  EXPECT_EQ(result->catalog.Get(result->reads[0].fragments[0]).name, "A#0");
+  // Partition fragments carry 1/4 of the table size each.
+  auto full = catalog.TableBytes("A");
+  ASSERT_TRUE(full.ok());
+  EXPECT_NEAR(result->catalog.Get(result->reads[0].fragments[0]).size_bytes,
+              full.value() / 4.0, 1e-6);
+}
+
+TEST(ClassifierTest, HorizontalEmptyPartitionListMeansAll) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kHorizontal, 3, true});
+  QueryJournal j;
+  j.Record(Query::Read("q", {"A"}), 1);
+  auto result = classifier.Classify(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reads[0].fragments.size(), 3u);
+}
+
+TEST(ClassifierTest, NoneGranularityCollapsesReads) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kNone, 4, true});
+  auto result = classifier.Classify(Figure2Journal());
+  ASSERT_TRUE(result.ok());
+  // All reads in one class spanning every fragment => full replication.
+  EXPECT_EQ(result->reads.size(), 1u);
+  EXPECT_EQ(result->reads[0].fragments.size(), result->catalog.size());
+  EXPECT_NEAR(result->reads[0].weight, 1.0, 1e-12);
+}
+
+TEST(ClassifierTest, ErrorsOnEmptyJournal) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {});
+  QueryJournal j;
+  EXPECT_FALSE(classifier.Classify(j).ok());
+}
+
+TEST(ClassifierTest, ErrorsOnUnknownTable) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {});
+  QueryJournal j;
+  j.Record(Query::Read("q", {"GHOST"}), 1);
+  EXPECT_TRUE(classifier.Classify(j).status().IsNotFound());
+}
+
+TEST(ClassifierTest, ErrorsOnUnknownColumn) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kColumn, 4, true});
+  QueryJournal j;
+  Query q = Query::Read("q", {});
+  q.accesses.push_back({"A", {"ghost_col"}, {}});
+  j.Record(q, 1);
+  EXPECT_TRUE(classifier.Classify(j).status().IsNotFound());
+}
+
+TEST(ClassifierTest, ErrorsOnInvalidPartition) {
+  engine::Catalog catalog = SmallSchema();
+  Classifier classifier(catalog, {Granularity::kHorizontal, 2, true});
+  QueryJournal j;
+  Query q = Query::Read("q", {});
+  q.accesses.push_back({"A", {}, {5}});
+  j.Record(q, 1);
+  EXPECT_EQ(classifier.Classify(j).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ClassifierTest, ErrorsOnEmptySchema) {
+  engine::Catalog catalog;
+  Classifier classifier(catalog, {});
+  QueryJournal j;
+  j.Record(Query::Read("q", {"A"}), 1);
+  EXPECT_FALSE(classifier.Classify(j).ok());
+}
+
+}  // namespace
+}  // namespace qcap

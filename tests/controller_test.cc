@@ -1,0 +1,118 @@
+#include "cluster/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/full_replication.h"
+#include "alloc/greedy.h"
+#include "workloads/tpcapp.h"
+
+namespace qcap {
+namespace {
+
+engine::Catalog SmallSchema() {
+  engine::Catalog catalog;
+  engine::TableDef a{"A", {{"k", engine::ColumnType::kInt64, 0, true}}, 1000};
+  engine::TableDef b{"B", {{"k", engine::ColumnType::kInt64, 0, true}}, 1000};
+  EXPECT_TRUE(catalog.AddTable(a).ok());
+  EXPECT_TRUE(catalog.AddTable(b).ok());
+  return catalog;
+}
+
+TEST(ControllerTest, RequiresAllocationBeforeProcessing) {
+  engine::Catalog catalog = SmallSchema();
+  Controller controller(catalog);
+  SimulationConfig config;
+  EXPECT_FALSE(controller.ProcessClosed(100, 4, config).ok());
+  EXPECT_FALSE(controller.ProcessOpen(10.0, 5.0, config).ok());
+  EXPECT_FALSE(controller.has_allocation());
+}
+
+TEST(ControllerTest, ReallocateThenProcess) {
+  engine::Catalog catalog = SmallSchema();
+  Controller controller(catalog);
+  controller.RecordQuery(Query::Read("qa", {"A"}, 0.01), 100);
+  controller.RecordQuery(Query::Read("qb", {"B"}, 0.01), 100);
+  GreedyAllocator greedy;
+  auto report =
+      controller.Reallocate(&greedy, HomogeneousBackends(2),
+                            {Granularity::kTable, 4, true});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(controller.has_allocation());
+  EXPECT_NEAR(report->model_speedup, 2.0, 1e-6);
+  EXPECT_NEAR(report->degree_of_replication, 1.0, 1e-6);
+  EXPECT_GT(report->transition.total_bytes, 0.0);  // Initial load.
+
+  SimulationConfig config;
+  config.seed = 3;
+  auto stats = controller.ProcessClosed(500, 4, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->completed_total(), 500u);
+}
+
+TEST(ControllerTest, SecondReallocationUsesMatching) {
+  engine::Catalog catalog = SmallSchema();
+  Controller controller(catalog);
+  controller.RecordQuery(Query::Read("qa", {"A"}, 0.01), 100);
+  controller.RecordQuery(Query::Read("qb", {"B"}, 0.01), 100);
+  GreedyAllocator greedy;
+  auto first = controller.Reallocate(&greedy, HomogeneousBackends(2),
+                                     {Granularity::kTable, 4, true});
+  ASSERT_TRUE(first.ok());
+  // Same history, same cluster: nothing should move.
+  auto second = controller.Reallocate(&greedy, HomogeneousBackends(2),
+                                      {Granularity::kTable, 4, true});
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->transition.total_bytes, 0.0);
+}
+
+TEST(ControllerTest, RejectsNullAllocator) {
+  engine::Catalog catalog = SmallSchema();
+  Controller controller(catalog);
+  controller.RecordQuery(Query::Read("qa", {"A"}), 1);
+  EXPECT_FALSE(controller
+                   .Reallocate(nullptr, HomogeneousBackends(1),
+                               {Granularity::kTable, 4, true})
+                   .ok());
+}
+
+TEST(ControllerTest, RecordSqlParsesAgainstSchema) {
+  // SQL identifiers are case-folded, so the schema must use lowercase
+  // names (as the shipped workload catalogs do).
+  engine::Catalog catalog;
+  engine::TableDef a{"a", {{"k", engine::ColumnType::kInt64, 0, true}}, 1000};
+  engine::TableDef b{"b", {{"k", engine::ColumnType::kInt64, 0, true}}, 1000};
+  ASSERT_TRUE(catalog.AddTable(a).ok());
+  ASSERT_TRUE(catalog.AddTable(b).ok());
+  Controller controller(catalog);
+  ASSERT_TRUE(controller.RecordSql("SELECT k FROM a", 0.01, 50).ok());
+  ASSERT_TRUE(
+      controller.RecordSql("INSERT INTO b (k) VALUES (1)", 0.001, 200).ok());
+  EXPECT_EQ(controller.history().NumDistinct(), 2u);
+  EXPECT_EQ(controller.history().TotalExecutions(), 250u);
+  EXPECT_TRUE(controller.history().queries()[1].is_update);
+  // Unknown table rejected and not recorded.
+  EXPECT_FALSE(controller.RecordSql("SELECT x FROM ghost", 0.01).ok());
+  EXPECT_EQ(controller.history().NumDistinct(), 2u);
+
+  GreedyAllocator greedy;
+  auto report = controller.Reallocate(&greedy, HomogeneousBackends(2),
+                                      {Granularity::kTable, 4, true});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->classification.reads.size(), 1u);
+  EXPECT_EQ(report->classification.updates.size(), 1u);
+}
+
+TEST(ControllerTest, SetHistoryReplacesJournal) {
+  engine::Catalog catalog = workloads::TpcAppCatalog(10.0);
+  Controller controller(catalog);
+  controller.SetHistory(workloads::TpcAppJournal(2000));
+  EXPECT_GT(controller.history().TotalExecutions(), 1000u);
+  FullReplicationAllocator full;
+  auto report = controller.Reallocate(&full, HomogeneousBackends(3),
+                                      {Granularity::kTable, 4, true});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NEAR(report->degree_of_replication, 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,132 @@
+#include "engine/cost_estimator.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "workload/classifier.h"
+#include "workloads/tpch.h"
+
+namespace qcap::engine {
+namespace {
+
+class CostEstimatorTest : public ::testing::Test {
+ protected:
+  CostEstimatorTest()
+      : catalog_(workloads::TpchCatalog(1.0)), estimator_(catalog_) {}
+
+  engine::Catalog catalog_;
+  CostEstimator estimator_;
+};
+
+TEST_F(CostEstimatorTest, BigScanCostsMoreThanSmallScan) {
+  const Query big = Query::Read("big", {"lineitem"}, 1.0);
+  const Query small = Query::Read("small", {"nation"}, 1.0);
+  auto cb = estimator_.EstimateSeconds(big);
+  auto cs = estimator_.EstimateSeconds(small);
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(cs.ok());
+  EXPECT_GT(cb.value(), 100.0 * cs.value());
+}
+
+TEST_F(CostEstimatorTest, NarrowColumnsCheaperThanWholeRow) {
+  Query narrow = Query::Read("narrow", {}, 1.0);
+  narrow.accesses.push_back({"lineitem", {"l_quantity"}, {}});
+  const Query wide = Query::Read("wide", {"lineitem"}, 1.0);
+  auto cn = estimator_.EstimateSeconds(narrow);
+  auto cw = estimator_.EstimateSeconds(wide);
+  ASSERT_TRUE(cn.ok());
+  ASSERT_TRUE(cw.ok());
+  EXPECT_LT(cn.value(), cw.value());
+}
+
+TEST_F(CostEstimatorTest, JoinsAmplifyCost) {
+  const Query single = Query::Read("s", {"orders"}, 1.0);
+  const Query join = Query::Read("j", {"orders", "customer"}, 1.0);
+  auto cs = estimator_.EstimateSeconds(single);
+  auto cj = estimator_.EstimateSeconds(join);
+  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(cj.ok());
+  EXPECT_GT(cj.value(), cs.value());
+}
+
+TEST_F(CostEstimatorTest, PartitionPredicatesReduceCost) {
+  Query all = Query::Read("all", {}, 1.0);
+  all.accesses.push_back({"lineitem", {}, {}});
+  Query part = Query::Read("part", {}, 1.0);
+  part.accesses.push_back({"lineitem", {}, {0, 7}});  // 2 of >= 8 ranges.
+  auto ca = estimator_.EstimateSeconds(all);
+  auto cp = estimator_.EstimateSeconds(part);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cp.ok());
+  EXPECT_LT(cp.value(), 0.5 * ca.value());
+}
+
+TEST_F(CostEstimatorTest, UpdatesAreCheapPointWrites) {
+  const Query update = Query::Update("u", {"orders"}, 1.0);
+  const Query scan = Query::Read("r", {"orders"}, 1.0);
+  auto cu = estimator_.EstimateSeconds(update);
+  auto cr = estimator_.EstimateSeconds(scan);
+  ASSERT_TRUE(cu.ok());
+  ASSERT_TRUE(cr.ok());
+  EXPECT_LT(cu.value(), 0.01 * cr.value());
+  EXPECT_GT(cu.value(), 0.0);
+}
+
+TEST_F(CostEstimatorTest, ErrorsOnUnknownReferences) {
+  EXPECT_FALSE(estimator_.EstimateSeconds(Query::Read("g", {"ghost"})).ok());
+  Query q = Query::Read("q", {}, 1.0);
+  EXPECT_FALSE(estimator_.EstimateSeconds(q).ok());  // No accesses.
+  Query bad_col = Query::Read("b", {}, 1.0);
+  bad_col.accesses.push_back({"nation", {"ghost"}, {}});
+  EXPECT_FALSE(estimator_.EstimateSeconds(bad_col).ok());
+}
+
+TEST_F(CostEstimatorTest, ReweightPreservesCountsAndOrdering) {
+  QueryJournal journal = workloads::TpchJournal(1900);
+  auto reweighted = estimator_.Reweight(journal);
+  ASSERT_TRUE(reweighted.ok()) << reweighted.status().ToString();
+  EXPECT_EQ(reweighted->TotalExecutions(), journal.TotalExecutions());
+  EXPECT_EQ(reweighted->NumDistinct(), journal.NumDistinct());
+  // Costs replaced by estimates.
+  for (const auto& q : reweighted->queries()) {
+    EXPECT_GT(q.cost, 0.0);
+  }
+}
+
+TEST_F(CostEstimatorTest, EstimatesCorrelateWithCalibratedCosts) {
+  // The estimator is coarse (it cannot see aggregation/HAVING costs), but
+  // its per-query estimates must rank the TPC-H templates broadly like the
+  // calibrated measured costs: Spearman rank correlation > 0.5.
+  const auto queries = workloads::TpchQueries();
+  std::vector<double> measured, estimated;
+  for (const auto& q : queries) {
+    auto est = estimator_.EstimateSeconds(q);
+    ASSERT_TRUE(est.ok()) << q.text;
+    measured.push_back(q.cost);
+    estimated.push_back(est.value());
+  }
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<size_t> idx(v.size());
+    for (size_t i = 0; i < v.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return v[a] < v[b]; });
+    std::vector<double> rank(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      rank[idx[i]] = static_cast<double>(i);
+    }
+    return rank;
+  };
+  const auto rm = ranks(measured);
+  const auto re = ranks(estimated);
+  const double n = static_cast<double>(rm.size());
+  double d2 = 0.0;
+  for (size_t i = 0; i < rm.size(); ++i) {
+    d2 += (rm[i] - re[i]) * (rm[i] - re[i]);
+  }
+  const double spearman = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+  EXPECT_GT(spearman, 0.5) << "rank correlation too weak: " << spearman;
+}
+
+}  // namespace
+}  // namespace qcap::engine

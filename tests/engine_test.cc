@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "engine/datagen.h"
+#include "engine/executor.h"
+#include "engine/table.h"
+#include "workloads/tpch.h"
+
+namespace qcap::engine {
+namespace {
+
+TableDef SmallDef() {
+  return TableDef{"t",
+                  {{"id", ColumnType::kInt64, 0, true},
+                   {"price", ColumnType::kDecimal, 0, false},
+                   {"name", ColumnType::kVarchar, 20, false},
+                   {"when", ColumnType::kDate, 0, false}},
+                  100};
+}
+
+TEST(TableTest, AppendAndReadBack) {
+  Table table(SmallDef());
+  ASSERT_TRUE(table
+                  .AppendRow({int64_t{7}, 3.5, std::string("widget"),
+                              int64_t{8100}})
+                  .ok());
+  EXPECT_EQ(table.NumRows(), 1u);
+  EXPECT_EQ(std::get<int64_t>(table.column(0).Get(0)), 7);
+  EXPECT_DOUBLE_EQ(std::get<double>(table.column(1).Get(0)), 3.5);
+  EXPECT_EQ(std::get<std::string>(table.column(2).Get(0)), "widget");
+}
+
+TEST(TableTest, RejectsWrongArityAndType) {
+  Table table(SmallDef());
+  EXPECT_FALSE(table.AppendRow({int64_t{1}}).ok());
+  EXPECT_FALSE(table
+                   .AppendRow({3.5, 3.5, std::string("x"), int64_t{1}})
+                   .ok());  // id must be int.
+}
+
+TEST(TableTest, FindColumn) {
+  Table table(SmallDef());
+  EXPECT_TRUE(table.FindColumn("price").ok());
+  EXPECT_TRUE(table.FindColumn("ghost").status().IsNotFound());
+}
+
+TEST(TableTest, PayloadBytes) {
+  Table table(SmallDef());
+  ASSERT_TRUE(
+      table.AppendRow({int64_t{1}, 1.0, std::string("abcd"), int64_t{2}})
+          .ok());
+  // id 8 + price 8 + "abcd" 4 + date 4.
+  EXPECT_EQ(table.PayloadBytes(), 24u);
+}
+
+TEST(DataGenTest, GeneratesRequestedRows) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SmallDef()).ok());
+  DataGenOptions options;
+  options.row_fraction = 1.0;
+  auto table = GenerateTable(catalog, "t", options);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->NumRows(), 100u);
+}
+
+TEST(DataGenTest, MinRowsFloor) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SmallDef()).ok());
+  DataGenOptions options;
+  options.row_fraction = 0.0001;
+  options.min_rows = 32;
+  auto table = GenerateTable(catalog, "t", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->NumRows(), 32u);
+}
+
+TEST(DataGenTest, PrimaryKeysAreDense) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SmallDef()).ok());
+  auto table = GenerateTable(catalog, "t", {});
+  ASSERT_TRUE(table.ok());
+  const auto& ids = table->column(0).ints();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST(DataGenTest, DeterministicForSeed) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SmallDef()).ok());
+  auto a = GenerateTable(catalog, "t", {1.0, 16, 42});
+  auto b = GenerateTable(catalog, "t", {1.0, 16, 42});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto sa = ScanColumns(a.value());
+  auto sb = ScanColumns(b.value());
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  EXPECT_EQ(sa->checksum, sb->checksum);
+}
+
+TEST(DataGenTest, WholeDatabase) {
+  Catalog catalog = workloads::TpchCatalog(1.0);
+  DataGenOptions options;
+  options.row_fraction = 0.0001;  // Tiny sample of SF 1.
+  auto database = GenerateDatabase(catalog, options);
+  ASSERT_TRUE(database.ok()) << database.status().ToString();
+  EXPECT_EQ(database->size(), 8u);
+  EXPECT_GE(database->at("lineitem").NumRows(), 600u);
+}
+
+TEST(ExecutorTest, ScanSubsetTouchesFewerBytes) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SmallDef()).ok());
+  auto table = GenerateTable(catalog, "t", {});
+  ASSERT_TRUE(table.ok());
+  auto all = ScanColumns(table.value());
+  auto narrow = ScanColumns(table.value(), {"id"});
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_LT(narrow->bytes, all->bytes);
+  EXPECT_EQ(narrow->bytes, 100u * 8u);
+  EXPECT_FALSE(ScanColumns(table.value(), {"ghost"}).ok());
+}
+
+TEST(ExecutorTest, CountAndSum) {
+  Table table(SmallDef());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRow({i, static_cast<double>(i), std::string("x"),
+                                int64_t{100}})
+                    .ok());
+  }
+  auto below = CountIntBelow(table, "id", 4);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(below.value(), 4u);
+  auto sum = SumDecimal(table, "price");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value(), 45.0);
+  EXPECT_FALSE(CountIntBelow(table, "price", 1).ok());
+  EXPECT_FALSE(SumDecimal(table, "id").ok());
+}
+
+TEST(ExecutorTest, CalibrationProducesPlausibleParameters) {
+  Catalog catalog = workloads::TpchCatalog(1.0);
+  // Reference: a Q1-style scan over ~half of lineitem's bytes at ~12 s.
+  auto lineitem = catalog.TableBytes("lineitem");
+  ASSERT_TRUE(lineitem.ok());
+  auto report =
+      CalibrateCostModel(catalog, 0.0002, 12.0, 0.5 * lineitem.value());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->scan_bytes_per_second, 1e8);  // >100 MB/s in memory.
+  EXPECT_GT(report->suggested_io_fraction, 0.0);
+  EXPECT_LT(report->suggested_io_fraction, 1.0);
+  EXPECT_GT(report->per_query_overhead_seconds, 0.0);
+}
+
+TEST(ExecutorTest, CalibrationRejectsBadInput) {
+  Catalog catalog = workloads::TpchCatalog(1.0);
+  EXPECT_FALSE(CalibrateCostModel(catalog, 0.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(CalibrateCostModel(catalog, 0.1, -1.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace qcap::engine

@@ -1,0 +1,106 @@
+#include "alloc/full_replication.h"
+
+#include <gtest/gtest.h>
+
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "test_util.h"
+
+namespace qcap {
+namespace {
+
+TEST(FullReplicationTest, EverythingEverywhere) {
+  const Classification cls = testutil::AppendixAClassification();
+  FullReplicationAllocator full;
+  const auto backends = HomogeneousBackends(3);
+  auto alloc = full.Allocate(cls, backends);
+  ASSERT_TRUE(alloc.ok()) << alloc.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, alloc.value(), backends).ok());
+  for (FragmentId f = 0; f < cls.catalog.size(); ++f) {
+    EXPECT_EQ(alloc->ReplicaCount(f), 3u);
+  }
+  EXPECT_NEAR(DegreeOfReplication(alloc.value(), cls.catalog), 3.0, 1e-12);
+}
+
+TEST(FullReplicationTest, EveryUpdatePinnedEverywhere) {
+  const Classification cls = testutil::AppendixAClassification();
+  FullReplicationAllocator full;
+  const auto backends = HomogeneousBackends(4);
+  auto alloc = full.Allocate(cls, backends);
+  ASSERT_TRUE(alloc.ok());
+  for (size_t b = 0; b < 4; ++b) {
+    for (size_t u = 0; u < cls.updates.size(); ++u) {
+      EXPECT_DOUBLE_EQ(alloc->update_assign(b, u), cls.updates[u].weight);
+    }
+  }
+}
+
+TEST(FullReplicationTest, HomogeneousLoadsEqualizeWithUpdates) {
+  const Classification cls = testutil::AppendixAClassification();
+  FullReplicationAllocator full;
+  const auto backends = HomogeneousBackends(4);
+  auto alloc = full.Allocate(cls, backends);
+  ASSERT_TRUE(alloc.ok());
+  // Every backend: all updates (20%) + an equal read share (80%/4).
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(alloc->AssignedUpdateLoad(b), 0.20, 1e-9);
+    EXPECT_NEAR(alloc->AssignedReadLoad(b), 0.20, 1e-9);
+  }
+  EXPECT_NEAR(BalanceDeviation(alloc.value(), backends), 0.0, 1e-9);
+}
+
+TEST(FullReplicationTest, SpeedupMatchesAmdahl) {
+  const Classification cls = testutil::AppendixAClassification();
+  FullReplicationAllocator full;
+  for (size_t n : {1, 2, 4, 8}) {
+    const auto backends = HomogeneousBackends(n);
+    auto alloc = full.Allocate(cls, backends);
+    ASSERT_TRUE(alloc.ok());
+    // Model speedup of full replication equals the Amdahl prediction
+    // (serial = total update weight 20%).
+    EXPECT_NEAR(Speedup(alloc.value(), backends),
+                AmdahlFullReplicationSpeedup(cls, n), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(FullReplicationTest, HeterogeneousSharesProportionalToCapacity) {
+  const Classification cls = testutil::Figure2Classification();
+  FullReplicationAllocator full;
+  const auto backends = testutil::AppendixABackends();  // 30/30/20/20.
+  auto alloc = full.Allocate(cls, backends);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(ValidateAllocation(cls, alloc.value(), backends).ok());
+  // Read-only: every backend loaded exactly at its share.
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(alloc->AssignedLoad(b), backends[b].relative_load, 1e-9);
+  }
+  EXPECT_NEAR(Speedup(alloc.value(), backends), 4.0, 1e-9);
+}
+
+TEST(FullReplicationTest, HeterogeneousWithUpdatesEqualizesScaledLoad) {
+  const Classification cls = testutil::AppendixAClassification();
+  FullReplicationAllocator full;
+  const auto backends = testutil::AppendixABackends();
+  auto alloc = full.Allocate(cls, backends);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(ValidateAllocation(cls, alloc.value(), backends).ok());
+  // Scaled loads (assigned/capacity) should be equal across backends: the
+  // waterfill compensates for the constant update load.
+  const double s0 = alloc->AssignedLoad(0) / backends[0].relative_load;
+  for (size_t b = 1; b < 4; ++b) {
+    EXPECT_NEAR(alloc->AssignedLoad(b) / backends[b].relative_load, s0, 1e-9);
+  }
+}
+
+TEST(FullReplicationTest, RejectsInvalidInput) {
+  const Classification cls = testutil::Figure2Classification();
+  FullReplicationAllocator full;
+  EXPECT_FALSE(full.Allocate(cls, {}).ok());
+  Classification bad = cls;
+  bad.reads[0].weight = 99.0;
+  EXPECT_FALSE(full.Allocate(bad, HomogeneousBackends(2)).ok());
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,119 @@
+// Corner cases of the greedy heuristic around the update-replication
+// exclusion rule (the "misplacement" corner the paper reports in
+// Section 4.2) and capacity-exceeding update classes.
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+
+namespace qcap {
+namespace {
+
+/// One big updated table, a tiny read class on it, and independent reads.
+/// The hot table must stay on few backends — replicating it a handful of
+/// times can lower the peak (each replica shares the small read weight),
+/// but uncontrolled spreading would pin the 15% update everywhere.
+TEST(GreedyCornerTest, TinyReadClassConcentratesNextToHeavyUpdates) {
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("hot", "hot", FragmentKind::kTable, 2.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("cold", "cold", FragmentKind::kTable, 2.0).ok());
+  cls.reads = {
+      QueryClass{{1}, 0.82, 1.0, false, "Qcold", {}},
+      QueryClass{{0}, 0.03, 1.0, false, "Qhot", {}},
+  };
+  cls.updates = {QueryClass{{0}, 0.15, 1.0, true, "Uhot", {}}};
+  const auto backends = HomogeneousBackends(10);
+  GreedyAllocator greedy;
+  auto a = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, a.value(), backends).ok());
+  // The hot table stays on a small subset of the cluster...
+  EXPECT_LE(a->ReplicaCount(0), 4u);
+  // ...and the hot backends bound the speedup near 1/0.15 = 6.67 (a single
+  // exclusive replica would cap it at 1/0.18 = 5.6).
+  EXPECT_GT(Speedup(a.value(), backends), 5.0);
+}
+
+/// When every read class is heavier than the update weight it drags, the
+/// classes must spread (replicating updates is the price of parallelism),
+/// not collapse onto one backend.
+TEST(GreedyCornerTest, HeavyReadClassesSpreadDespiteUpdates) {
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("t", "t", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 0.85, 1.0, false, "Q", {}}};
+  cls.updates = {QueryClass{{0}, 0.15, 1.0, true, "U", {}}};
+  const auto backends = HomogeneousBackends(8);
+  GreedyAllocator greedy;
+  auto a = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, a.value(), backends).ok());
+  // The table must be replicated widely: a single backend would mean
+  // speedup 1.
+  EXPECT_GE(a->ReplicaCount(0), 4u);
+  // Best possible: every backend pays 15%: speedup = 8 / (0.15*8 + 0.85).
+  const double ideal = 8.0 / (0.15 * 8.0 + 0.85);
+  EXPECT_GT(Speedup(a.value(), backends), 0.85 * ideal);
+}
+
+/// An update class whose weight alone exceeds one backend's fair share
+/// still lands on exactly one backend (it can never be split).
+TEST(GreedyCornerTest, OversizedUpdateClassStaysSingle) {
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("log", "log", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("data", "data", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{1}, 0.6, 1.0, false, "Q", {}}};
+  cls.updates = {QueryClass{{0}, 0.4, 1.0, true, "U", {}}};
+  const auto backends = HomogeneousBackends(6);
+  GreedyAllocator greedy;
+  auto a = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, a.value(), backends).ok());
+  EXPECT_EQ(a->ReplicaCount(0), 1u);
+  // Speedup bound = 1 / 0.4.
+  EXPECT_LE(Speedup(a.value(), backends), 2.5 + 1e-9);
+  EXPECT_GT(Speedup(a.value(), backends), 2.0);
+}
+
+/// Zero-ish weight classes and many backends: no infinite loops, still
+/// valid.
+TEST(GreedyCornerTest, ManyTinyClassesTerminate) {
+  Classification cls;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cls.catalog
+                    .Add("t" + std::to_string(i), "t" + std::to_string(i),
+                         FragmentKind::kTable, 0.5 + i)
+                    .ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    cls.reads.push_back(QueryClass{{static_cast<FragmentId>(i)},
+                                   0.05, 1.0, false,
+                                   "Q" + std::to_string(i), {}});
+  }
+  const auto backends = HomogeneousBackends(7);
+  GreedyAllocator greedy;
+  auto a = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, a.value(), backends).ok());
+  EXPECT_NEAR(Speedup(a.value(), backends), 7.0, 0.8);
+}
+
+/// Heterogeneous backends ordered ascending (opposite of the recommended
+/// order) still produce valid allocations.
+TEST(GreedyCornerTest, AscendingHeterogeneousStillValid) {
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 0.5, 1.0, false, "Q1", {}},
+               QueryClass{{1}, 0.4, 1.0, false, "Q2", {}}};
+  cls.updates = {QueryClass{{0}, 0.1, 1.0, true, "U1", {}}};
+  auto backends = HeterogeneousBackends({0.1, 0.2, 0.3, 0.4});
+  ASSERT_TRUE(backends.ok());
+  GreedyAllocator greedy;
+  auto a = greedy.Allocate(cls, backends.value());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, a.value(), backends.value()).ok());
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,110 @@
+// Hybrid granularity (Section 3.1: "a mixture of the above"): large tables
+// split into column fragments, small tables stay whole.
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "workload/classifier.h"
+#include "workloads/tpch.h"
+
+namespace qcap {
+namespace {
+
+ClassifierOptions HybridOptions(double threshold_bytes) {
+  ClassifierOptions options;
+  options.granularity = Granularity::kHybrid;
+  options.hybrid_column_threshold_bytes = threshold_bytes;
+  return options;
+}
+
+TEST(HybridTest, LargeTablesSplitSmallTablesStayWhole) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  // Threshold between nation (~3 KB) and lineitem (~800 MB): the fact
+  // tables split, the dimensions stay whole.
+  Classifier classifier(catalog, HybridOptions(10.0 * 1024 * 1024));
+  auto cls = classifier.Classify(workloads::TpchJournal(1900));
+  ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+  EXPECT_TRUE(cls->catalog.Find("lineitem.l_quantity").ok());
+  EXPECT_FALSE(cls->catalog.Find("nation.n_name").ok());
+  EXPECT_TRUE(cls->catalog.Find("nation").ok());
+  // lineitem itself is not a whole-table fragment.
+  EXPECT_FALSE(cls->catalog.Find("lineitem").ok());
+}
+
+TEST(HybridTest, ThresholdExtremesMatchPureGranularities) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  const QueryJournal journal = workloads::TpchJournal(1900);
+  Classifier all_column(catalog, HybridOptions(0.0));
+  Classifier all_table(catalog, HybridOptions(1e18));
+  Classifier pure_column(catalog, {Granularity::kColumn, 4, true});
+  Classifier pure_table(catalog, {Granularity::kTable, 4, true});
+  auto hc = all_column.Classify(journal);
+  auto ht = all_table.Classify(journal);
+  auto pc = pure_column.Classify(journal);
+  auto pt = pure_table.Classify(journal);
+  ASSERT_TRUE(hc.ok());
+  ASSERT_TRUE(ht.ok());
+  ASSERT_TRUE(pc.ok());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(hc->catalog.size(), pc->catalog.size());
+  EXPECT_EQ(ht->catalog.size(), pt->catalog.size());
+  EXPECT_EQ(hc->reads.size(), pc->reads.size());
+  EXPECT_EQ(ht->reads.size(), pt->reads.size());
+}
+
+TEST(HybridTest, FragmentCountBetweenTableAndColumn) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  Classifier hybrid(catalog, HybridOptions(10.0 * 1024 * 1024));
+  auto cls = hybrid.Classify(workloads::TpchJournal(1900));
+  ASSERT_TRUE(cls.ok());
+  EXPECT_GT(cls->catalog.size(), 8u);   // More than table-granular.
+  EXPECT_LT(cls->catalog.size(), 61u);  // Fewer than column-granular.
+}
+
+TEST(HybridTest, AllocatesValidlyAndSavesStorageVersusTable) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  const QueryJournal journal = workloads::TpchJournal(1900);
+  GreedyAllocator greedy;
+  const auto backends = HomogeneousBackends(8);
+
+  Classifier hybrid(catalog, HybridOptions(10.0 * 1024 * 1024));
+  Classifier table(catalog, {Granularity::kTable, 4, true});
+  auto hc = hybrid.Classify(journal);
+  auto tc = table.Classify(journal);
+  ASSERT_TRUE(hc.ok());
+  ASSERT_TRUE(tc.ok());
+
+  auto ha = greedy.Allocate(hc.value(), backends);
+  auto ta = greedy.Allocate(tc.value(), backends);
+  ASSERT_TRUE(ha.ok()) << ha.status().ToString();
+  ASSERT_TRUE(ta.ok());
+  Status valid = ValidateAllocation(hc.value(), ha.value(), backends);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  // Splitting the fact tables is where nearly all the storage saving
+  // lives; hybrid should capture most of the column-granular benefit.
+  const double r_hybrid = DegreeOfReplication(ha.value(), hc->catalog);
+  const double r_table = DegreeOfReplication(ta.value(), tc->catalog);
+  EXPECT_LT(r_hybrid, 0.7 * r_table);
+}
+
+TEST(HybridTest, CandidateKeysStillIncludedOnSplitTables) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  Classifier classifier(catalog, HybridOptions(10.0 * 1024 * 1024));
+  QueryJournal journal;
+  Query q = Query::Read("q", {}, 1.0);
+  q.accesses.push_back({"lineitem", {"l_quantity"}, {}});
+  journal.Record(q, 1);
+  auto cls = classifier.Classify(journal);
+  ASSERT_TRUE(cls.ok());
+  // The split table's key columns ride along.
+  bool has_orderkey = false;
+  for (FragmentId f : cls->reads[0].fragments) {
+    if (cls->catalog.Get(f).name == "lineitem.l_orderkey") has_orderkey = true;
+  }
+  EXPECT_TRUE(has_orderkey);
+}
+
+}  // namespace
+}  // namespace qcap

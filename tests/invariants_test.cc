@@ -1,0 +1,191 @@
+// Cross-module invariants on random workloads: simulation conservation
+// laws, physical-allocation optimality properties, and serialization
+// round-trips under the full pipeline.
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "alloc/ksafety.h"
+#include "cluster/simulator.h"
+#include "common/random.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "physical/physical_allocator.h"
+#include "workload/classifier.h"
+#include "workload/journal_io.h"
+#include "workloads/journal_synth.h"
+
+namespace qcap {
+namespace {
+
+struct Instance {
+  workloads::RandomWorkload workload;
+  Classification cls;
+  std::vector<BackendSpec> backends;
+  Allocation alloc;
+};
+
+Instance MakeInstance(uint64_t seed, size_t nodes) {
+  Instance inst;
+  inst.workload = workloads::MakeRandomWorkload(seed);
+  Classifier classifier(inst.workload.catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(inst.workload.journal);
+  EXPECT_TRUE(cls.ok());
+  inst.cls = std::move(cls).value();
+  inst.backends = HomogeneousBackends(nodes);
+  GreedyAllocator greedy;
+  auto alloc = greedy.Allocate(inst.cls, inst.backends);
+  EXPECT_TRUE(alloc.ok());
+  inst.alloc = std::move(alloc).value();
+  return inst;
+}
+
+class SimulationConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulationConservation, ClosedLoopCompletesExactlyRequested) {
+  const Instance inst = MakeInstance(GetParam(), 4);
+  SimulationConfig config;
+  config.seed = GetParam();
+  auto sim = ClusterSimulator::Create(inst.cls, inst.alloc, inst.backends,
+                                      config);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  auto stats = sim->RunClosed(2500, 12);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->completed_total(), 2500u);
+  EXPECT_EQ(stats->failed_requests, 0u);
+  EXPECT_EQ(stats->rejected_requests, 0u);
+  EXPECT_GT(stats->throughput, 0.0);
+  EXPECT_GE(stats->max_response_seconds, stats->avg_response_seconds);
+  // Busy time is positive on at least one backend and none exceeds the
+  // simulated duration times the server count.
+  double total_busy = 0.0;
+  for (double b : stats->backend_busy_seconds) {
+    EXPECT_LE(b, stats->duration_seconds *
+                     static_cast<double>(config.servers_per_backend) + 1e-6);
+    total_busy += b;
+  }
+  EXPECT_GT(total_busy, 0.0);
+}
+
+TEST_P(SimulationConservation, OpenLoopAccountsEveryArrival) {
+  const Instance inst = MakeInstance(GetParam(), 4);
+  SimulationConfig config;
+  config.seed = GetParam() * 7 + 1;
+  auto sim = ClusterSimulator::Create(inst.cls, inst.alloc, inst.backends,
+                                      config);
+  ASSERT_TRUE(sim.ok());
+  auto stats = sim->RunOpen(20.0, 200.0);
+  ASSERT_TRUE(stats.ok());
+  // ~4000 arrivals expected; all must complete with no failures injected.
+  EXPECT_GT(stats->completed_total(), 3000u);
+  EXPECT_EQ(stats->failed_requests, 0u);
+  EXPECT_EQ(stats->rejected_requests, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulationConservation,
+                         ::testing::Range<uint64_t>(1, 7));
+
+class PhysicalInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PhysicalInvariants, SelfTransitionIsFree) {
+  const Instance inst = MakeInstance(GetParam(), 5);
+  PhysicalAllocator physical;
+  auto plan = physical.Plan(inst.alloc, inst.alloc, inst.cls.catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->total_bytes, 0.0);
+}
+
+TEST_P(PhysicalInvariants, PermutedTargetIsFree) {
+  const Instance inst = MakeInstance(GetParam(), 5);
+  // Shuffle the backends; matching must rediscover the permutation.
+  std::vector<size_t> perm = {4, 2, 0, 3, 1};
+  Allocation permuted(5, inst.alloc.num_fragments(), inst.alloc.num_reads(),
+                      inst.alloc.num_updates());
+  for (size_t b = 0; b < 5; ++b) {
+    permuted.PlaceSet(b, inst.alloc.BackendFragments(perm[b]));
+  }
+  PhysicalAllocator physical;
+  auto plan = physical.Plan(inst.alloc, permuted, inst.cls.catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->total_bytes, 0.0);
+}
+
+TEST_P(PhysicalInvariants, MatchingNeverWorseThanIdentity) {
+  const Instance old_inst = MakeInstance(GetParam(), 5);
+  const Instance new_inst = MakeInstance(GetParam() + 100, 5);
+  // Same catalog dimensions are required; rebuild the new allocation over
+  // the old classification for comparability.
+  GreedyAllocator greedy;
+  Classifier classifier(old_inst.workload.catalog,
+                        {Granularity::kColumn, 4, true});
+  auto cls = classifier.Classify(old_inst.workload.journal);
+  ASSERT_TRUE(cls.ok());
+  auto a1 = greedy.Allocate(cls.value(), HomogeneousBackends(5));
+  auto a2 = greedy.Allocate(cls.value(), HomogeneousBackends(5));
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  PhysicalAllocator physical;
+  auto plan = physical.Plan(a1.value(), a2.value(), cls->catalog);
+  ASSERT_TRUE(plan.ok());
+  // Identity assignment cost:
+  double identity = 0.0;
+  for (size_t b = 0; b < 5; ++b) {
+    identity += cls->catalog.SetBytes(SetDifference(
+        a2->BackendFragments(b), a1->BackendFragments(b)));
+  }
+  EXPECT_LE(plan->total_bytes, identity + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhysicalInvariants,
+                         ::testing::Range<uint64_t>(1, 7));
+
+class JournalRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JournalRoundTrip, RandomJournalsSurviveSerialization) {
+  const auto workload = workloads::MakeRandomWorkload(GetParam());
+  auto loaded = DeserializeJournal(SerializeJournal(workload.journal));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Classifying the round-tripped journal yields identical weights.
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto before = classifier.Classify(workload.journal);
+  auto after = classifier.Classify(loaded.value());
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->reads.size(), after->reads.size());
+  for (size_t r = 0; r < before->reads.size(); ++r) {
+    EXPECT_NEAR(before->reads[r].weight, after->reads[r].weight, 1e-12);
+    EXPECT_EQ(before->reads[r].fragments, after->reads[r].fragments);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JournalRoundTrip,
+                         ::testing::Range<uint64_t>(1, 9));
+
+class KSafetyDominance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KSafetyDominance, ReplicationFloorsAndValidityHoldPerK) {
+  const auto workload = workloads::MakeRandomWorkload(GetParam());
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(workload.journal);
+  ASSERT_TRUE(cls.ok());
+  const auto backends = HomogeneousBackends(5);
+  for (int k : {0, 1, 2}) {
+    KSafeGreedyAllocator allocator({k, 1e-12, 0});
+    auto alloc = allocator.Allocate(cls.value(), backends);
+    ASSERT_TRUE(alloc.ok()) << "k=" << k;
+    // Every fragment at least k+1 times => r >= k+1; plus full k-safe
+    // validation. (The heuristic is not strictly monotone in k — different
+    // replica placements cascade — so only the floors are invariant.)
+    const double r = DegreeOfReplication(alloc.value(), cls->catalog);
+    EXPECT_GE(r, static_cast<double>(k + 1) - 1e-9) << "k=" << k;
+    ValidationOptions opts;
+    opts.k_safety = k;
+    Status valid = ValidateAllocation(cls.value(), alloc.value(), backends, opts);
+    EXPECT_TRUE(valid.ok()) << "k=" << k << ": " << valid.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KSafetyDominance,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,90 @@
+#include "workload/journal.h"
+
+#include <gtest/gtest.h>
+
+namespace qcap {
+namespace {
+
+TEST(JournalTest, EmptyJournal) {
+  QueryJournal j;
+  EXPECT_TRUE(j.empty());
+  EXPECT_EQ(j.NumDistinct(), 0u);
+  EXPECT_EQ(j.TotalExecutions(), 0u);
+  EXPECT_DOUBLE_EQ(j.TotalCost(), 0.0);
+  double b, e;
+  EXPECT_FALSE(j.TimeRange(&b, &e));
+}
+
+TEST(JournalTest, RecordAccumulatesByText) {
+  QueryJournal j;
+  j.Record(Query::Read("q1", {"t1"}, 2.0), 3);
+  j.Record(Query::Read("q1", {"t1"}, 2.0), 2);
+  j.Record(Query::Read("q2", {"t2"}, 1.0), 1);
+  EXPECT_EQ(j.NumDistinct(), 2u);
+  EXPECT_EQ(j.TotalExecutions(), 6u);
+  EXPECT_EQ(j.count(0), 5u);
+  EXPECT_EQ(j.count(1), 1u);
+  // Σ j(q)·weight(q) = 5*2 + 1*1.
+  EXPECT_DOUBLE_EQ(j.TotalCost(), 11.0);
+}
+
+TEST(JournalTest, RecordZeroCountIsNoop) {
+  QueryJournal j;
+  j.Record(Query::Read("q", {"t"}), 0);
+  EXPECT_TRUE(j.empty());
+}
+
+TEST(JournalTest, FirstRegistrationWinsAccessInfo) {
+  QueryJournal j;
+  Query a = Query::Read("same-text", {"t1"});
+  Query b = Query::Read("same-text", {"t2"});
+  j.Record(a);
+  j.Record(b);
+  EXPECT_EQ(j.NumDistinct(), 1u);
+  EXPECT_EQ(j.queries()[0].accesses[0].table, "t1");
+}
+
+TEST(JournalTest, ReadAndUpdateFactories) {
+  const Query r = Query::Read("r", {"a", "b"}, 1.5);
+  EXPECT_FALSE(r.is_update);
+  EXPECT_EQ(r.accesses.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.cost, 1.5);
+  const Query u = Query::Update("u", {"a"});
+  EXPECT_TRUE(u.is_update);
+}
+
+TEST(JournalTest, TimestampedRecordsAndRange) {
+  QueryJournal j;
+  j.RecordAt(Query::Read("q1", {"t"}), 10.0);
+  j.RecordAt(Query::Read("q2", {"t"}), 5.0);
+  j.RecordAt(Query::Read("q1", {"t"}), 20.0);
+  double b = 0, e = 0;
+  ASSERT_TRUE(j.TimeRange(&b, &e));
+  EXPECT_DOUBLE_EQ(b, 5.0);
+  EXPECT_DOUBLE_EQ(e, 20.0);
+  EXPECT_EQ(j.TotalExecutions(), 3u);
+}
+
+TEST(JournalTest, SliceFiltersHalfOpenInterval) {
+  QueryJournal j;
+  for (int i = 0; i < 10; ++i) {
+    j.RecordAt(Query::Read("q" + std::to_string(i % 2), {"t"}),
+               static_cast<double>(i));
+  }
+  const QueryJournal slice = j.Slice(2.0, 5.0);  // times 2,3,4
+  EXPECT_EQ(slice.TotalExecutions(), 3u);
+  const QueryJournal empty = j.Slice(100.0, 200.0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(JournalTest, SliceExcludesUntimestamped) {
+  QueryJournal j;
+  j.Record(Query::Read("bulk", {"t"}), 100);
+  j.RecordAt(Query::Read("live", {"t"}), 1.0);
+  const QueryJournal slice = j.Slice(0.0, 10.0);
+  EXPECT_EQ(slice.TotalExecutions(), 1u);
+  EXPECT_EQ(slice.queries()[0].text, "live");
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,113 @@
+#include "alloc/ksafety.h"
+
+#include <gtest/gtest.h>
+
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "test_util.h"
+#include "workload/classifier.h"
+#include "workloads/journal_synth.h"
+
+namespace qcap {
+namespace {
+
+TEST(KSafetyTest, KZeroBehavesLikeValidGreedy) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = testutil::AppendixABackends();
+  KSafeGreedyAllocator alloc({0, 1e-12, 0});
+  auto result = alloc.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, result.value(), backends).ok());
+}
+
+TEST(KSafetyTest, KOneEveryClassOnTwoBackends) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = HomogeneousBackends(4);
+  KSafeGreedyAllocator alloc({1, 1e-12, 0});
+  auto result = alloc.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ValidationOptions opts;
+  opts.k_safety = 1;
+  Status valid = ValidateAllocation(cls, result.value(), backends, opts);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(KSafetyTest, KTwoFragmentsTriplicated) {
+  const Classification cls = testutil::Figure2Classification();
+  const auto backends = HomogeneousBackends(5);
+  KSafeGreedyAllocator alloc({2, 1e-12, 0});
+  auto result = alloc.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (FragmentId f = 0; f < cls.catalog.size(); ++f) {
+    EXPECT_GE(result->ReplicaCount(f), 3u) << "fragment " << f;
+  }
+  ValidationOptions opts;
+  opts.k_safety = 2;
+  EXPECT_TRUE(ValidateAllocation(cls, result.value(), backends, opts).ok());
+}
+
+TEST(KSafetyTest, ReadOnlySpeedupUnaffectedByReplicas) {
+  // Appendix C: in the read-only case the theoretical speedup is unaffected
+  // by k-safety.
+  const Classification cls = testutil::Figure2Classification();
+  const auto backends = HomogeneousBackends(4);
+  KSafeGreedyAllocator alloc({1, 1e-12, 0});
+  auto result = alloc.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(Speedup(result.value(), backends), 4.0, 1e-6);
+}
+
+TEST(KSafetyTest, UpdateReplicationReducesSpeedup) {
+  // With updates, k=1 forces replicated update classes, so the model
+  // speedup degrades relative to k=0.
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = HomogeneousBackends(4);
+  KSafeGreedyAllocator k0({0, 1e-12, 0});
+  KSafeGreedyAllocator k1({1, 1e-12, 0});
+  auto r0 = k0.Allocate(cls, backends);
+  auto r1 = k1.Allocate(cls, backends);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_LE(Speedup(r1.value(), backends),
+            Speedup(r0.value(), backends) + 1e-9);
+}
+
+TEST(KSafetyTest, RejectsImpossibleK) {
+  const Classification cls = testutil::Figure2Classification();
+  KSafeGreedyAllocator alloc({2, 1e-12, 0});
+  EXPECT_FALSE(alloc.Allocate(cls, HomogeneousBackends(2)).ok());
+  KSafeGreedyAllocator neg({-1, 1e-12, 0});
+  EXPECT_FALSE(neg.Allocate(cls, HomogeneousBackends(2)).ok());
+}
+
+TEST(KSafetyTest, NameReflectsK) {
+  EXPECT_EQ(KSafeGreedyAllocator({1, 1e-12, 0}).name(), "greedy-k1");
+  EXPECT_EQ(KSafeGreedyAllocator({2, 1e-12, 0}).name(), "greedy-k2");
+}
+
+class KSafetyPropertySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(KSafetyPropertySweep, RandomWorkloadsStayKSafe) {
+  const auto [seed, k] = GetParam();
+  const auto workload = workloads::MakeRandomWorkload(seed);
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(workload.journal);
+  ASSERT_TRUE(cls.ok());
+  const size_t n = static_cast<size_t>(k) + 3;
+  const auto backends = HomogeneousBackends(n);
+  KSafeGreedyAllocator alloc({k, 1e-12, 0});
+  auto result = alloc.Allocate(cls.value(), backends);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ValidationOptions opts;
+  opts.k_safety = k;
+  Status valid = ValidateAllocation(cls.value(), result.value(), backends, opts);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, KSafetyPropertySweep,
+                         ::testing::Combine(::testing::Range<uint64_t>(1, 7),
+                                            ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace qcap

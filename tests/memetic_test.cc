@@ -1,0 +1,126 @@
+#include "alloc/memetic.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "test_util.h"
+#include "workload/classifier.h"
+#include "workloads/journal_synth.h"
+
+namespace qcap {
+namespace {
+
+MemeticOptions FastOptions(uint64_t seed = 7) {
+  MemeticOptions opts;
+  opts.population_size = 9;
+  opts.iterations = 12;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(MemeticTest, ProducesValidAllocation) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = testutil::AppendixABackends();
+  MemeticAllocator memetic(FastOptions());
+  auto result = memetic.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Status valid = ValidateAllocation(cls, result.value(), backends);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(MemeticTest, NeverWorseThanGreedy) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = testutil::AppendixABackends();
+  GreedyAllocator greedy;
+  auto greedy_alloc = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(greedy_alloc.ok());
+  const double greedy_scale = Scale(greedy_alloc.value(), backends);
+
+  MemeticAllocator memetic(FastOptions());
+  auto improved = memetic.Allocate(cls, backends);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_LE(Scale(improved.value(), backends), greedy_scale + 1e-9);
+}
+
+TEST(MemeticTest, DeterministicForSeed) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = HomogeneousBackends(3);
+  MemeticAllocator a(FastOptions(42)), b(FastOptions(42));
+  auto ra = a.Allocate(cls, backends);
+  auto rb = b.Allocate(cls, backends);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  for (size_t backend = 0; backend < 3; ++backend) {
+    EXPECT_EQ(ra->BackendFragments(backend), rb->BackendFragments(backend));
+    for (size_t r = 0; r < cls.reads.size(); ++r) {
+      EXPECT_DOUBLE_EQ(ra->read_assign(backend, r),
+                       rb->read_assign(backend, r));
+    }
+  }
+}
+
+TEST(MemeticTest, ImproveAcceptsExternalSeed) {
+  const Classification cls = testutil::Figure2Classification();
+  const auto backends = HomogeneousBackends(2);
+  GreedyAllocator greedy;
+  auto seed_alloc = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(seed_alloc.ok());
+  MemeticAllocator memetic(FastOptions());
+  auto improved = memetic.Improve(cls, backends, seed_alloc.value());
+  ASSERT_TRUE(improved.ok());
+  EXPECT_TRUE(ValidateAllocation(cls, improved.value(), backends).ok());
+  // Figure 2 on two backends is already optimal: speedup stays 2.
+  EXPECT_NEAR(Speedup(improved.value(), backends), 2.0, 1e-9);
+}
+
+TEST(MemeticTest, CanReduceReplicationOfPoorSeed) {
+  // Seed with full replication; the memetic search should strictly reduce
+  // stored bytes for the read-only Figure 2 workload at equal speedup.
+  const Classification cls = testutil::Figure2Classification();
+  const auto backends = HomogeneousBackends(2);
+  Allocation full(2, 3, 4, 0);
+  for (size_t b = 0; b < 2; ++b) full.PlaceSet(b, {0, 1, 2});
+  full.set_read_assign(0, 0, 0.30);
+  full.set_read_assign(0, 3, 0.20);
+  full.set_read_assign(1, 1, 0.25);
+  full.set_read_assign(1, 2, 0.25);
+
+  MemeticOptions opts = FastOptions(3);
+  opts.iterations = 30;
+  MemeticAllocator memetic(opts);
+  auto improved = memetic.Improve(cls, backends, full);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_TRUE(ValidateAllocation(cls, improved.value(), backends).ok());
+  EXPECT_NEAR(Speedup(improved.value(), backends), 2.0, 1e-9);
+  EXPECT_LT(DegreeOfReplication(improved.value(), cls.catalog), 2.0 - 1e-9);
+}
+
+class MemeticPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemeticPropertySweep, ValidAndNotWorseOnRandomWorkloads) {
+  const auto workload = workloads::MakeRandomWorkload(GetParam());
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(workload.journal);
+  ASSERT_TRUE(cls.ok());
+  const auto backends = HomogeneousBackends(4);
+
+  GreedyAllocator greedy;
+  auto base = greedy.Allocate(cls.value(), backends);
+  ASSERT_TRUE(base.ok());
+
+  MemeticAllocator memetic(FastOptions(GetParam()));
+  auto improved = memetic.Improve(cls.value(), backends, base.value());
+  ASSERT_TRUE(improved.ok()) << improved.status().ToString();
+  Status valid = ValidateAllocation(cls.value(), improved.value(), backends);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_LE(Scale(improved.value(), backends),
+            Scale(base.value(), backends) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemeticPropertySweep,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace qcap

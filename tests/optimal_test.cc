@@ -1,0 +1,106 @@
+#include "alloc/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "test_util.h"
+
+namespace qcap {
+namespace {
+
+TEST(OptimalTest, SingleBackend) {
+  const Classification cls = testutil::Figure2Classification();
+  OptimalAllocator optimal;
+  auto result = optimal.Allocate(cls, HomogeneousBackends(1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(
+      ValidateAllocation(cls, result.value(), HomogeneousBackends(1)).ok());
+  EXPECT_NEAR(optimal.last_scale(), 1.0, 1e-6);
+}
+
+TEST(OptimalTest, Figure2TwoBackendsMinimalReplication) {
+  const Classification cls = testutil::Figure2Classification();
+  const auto backends = HomogeneousBackends(2);
+  OptimalAllocator optimal;
+  auto result = optimal.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Status valid = ValidateAllocation(cls, result.value(), backends);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // Optimal: speedup 2, only B replicated -> 4 units stored.
+  EXPECT_NEAR(Speedup(result.value(), backends), 2.0, 1e-6);
+  EXPECT_NEAR(DegreeOfReplication(result.value(), cls.catalog), 4.0 / 3.0,
+              1e-6);
+}
+
+TEST(OptimalTest, ReadOnlyScaleIsOne) {
+  const Classification cls = testutil::Figure2Classification();
+  OptimalAllocator optimal;
+  auto result = optimal.Allocate(cls, HomogeneousBackends(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(optimal.last_scale(), 1.0, 1e-6);
+}
+
+TEST(OptimalTest, NeverWorseScaleThanGreedy) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = HomogeneousBackends(2);
+  GreedyAllocator greedy;
+  auto g = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(g.ok());
+  OptimalAllocator optimal;
+  auto o = optimal.Allocate(cls, backends);
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, o.value(), backends).ok());
+  EXPECT_LE(Scale(o.value(), backends), Scale(g.value(), backends) + 1e-6);
+}
+
+TEST(OptimalTest, UpdatesArePinnedByLp) {
+  // Two backends, one update class: the LP must pin the update everywhere
+  // its data lands.
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 0.45, 1.0, false, "Q1", {}},
+               QueryClass{{1}, 0.45, 1.0, false, "Q2", {}}};
+  cls.updates = {QueryClass{{0}, 0.10, 1.0, true, "U1", {}}};
+  const auto backends = HomogeneousBackends(2);
+  OptimalAllocator optimal;
+  auto result = optimal.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Status valid = ValidateAllocation(cls, result.value(), backends);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  // Optimal separates A and B: scale = max(0.55, 0.45)/0.5 = 1.1.
+  EXPECT_NEAR(optimal.last_scale(), 1.1, 1e-6);
+}
+
+TEST(OptimalTest, ScaleOnlyModeSkipsStorageStage) {
+  const Classification cls = testutil::Figure2Classification();
+  OptimalOptions opts;
+  opts.scale_only = true;
+  OptimalAllocator optimal(opts);
+  auto result = optimal.Allocate(cls, HomogeneousBackends(2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(
+      ValidateAllocation(cls, result.value(), HomogeneousBackends(2)).ok());
+}
+
+TEST(OptimalTest, HeterogeneousBackends) {
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 0.7, 1.0, false, "Q1", {}},
+               QueryClass{{1}, 0.3, 1.0, false, "Q2", {}}};
+  auto backends = HeterogeneousBackends({0.7, 0.3});
+  ASSERT_TRUE(backends.ok());
+  OptimalAllocator optimal;
+  auto result = optimal.Allocate(cls, backends.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(cls, result.value(), backends.value()).ok());
+  // Classes fit the backend shares exactly: scale 1, no replication.
+  EXPECT_NEAR(optimal.last_scale(), 1.0, 1e-6);
+  EXPECT_NEAR(DegreeOfReplication(result.value(), cls.catalog), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,145 @@
+// Cross-allocator property sweeps on random workloads: every strategy must
+// produce valid allocations whose metrics respect the analytical bounds.
+#include <gtest/gtest.h>
+
+#include "alloc/full_replication.h"
+#include "alloc/greedy.h"
+#include "alloc/ksafety.h"
+#include "alloc/memetic.h"
+#include "alloc/random_allocator.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "workload/classifier.h"
+#include "workloads/journal_synth.h"
+
+namespace qcap {
+namespace {
+
+struct Instance {
+  Classification cls;
+  std::vector<BackendSpec> backends;
+};
+
+Instance MakeInstance(uint64_t seed, size_t nodes, Granularity granularity) {
+  const auto workload = workloads::MakeRandomWorkload(seed);
+  Classifier classifier(workload.catalog, {granularity, 4, true});
+  auto cls = classifier.Classify(workload.journal);
+  EXPECT_TRUE(cls.ok()) << cls.status().ToString();
+  return Instance{std::move(cls).value(), HomogeneousBackends(nodes)};
+}
+
+void CheckInvariants(const Instance& inst, const Allocation& alloc,
+                     const std::string& context) {
+  Status valid = ValidateAllocation(inst.cls, alloc, inst.backends);
+  ASSERT_TRUE(valid.ok()) << context << ": " << valid.ToString();
+
+  const double scale = Scale(alloc, inst.backends);
+  EXPECT_GE(scale, 1.0 - 1e-9) << context;
+
+  const double speedup = Speedup(alloc, inst.backends);
+  EXPECT_LE(speedup, static_cast<double>(inst.backends.size()) + 1e-9)
+      << context;
+  EXPECT_LE(speedup, TheoreticalMaxSpeedup(inst.cls) + 1e-6) << context;
+
+  const double r = DegreeOfReplication(alloc, inst.cls.catalog);
+  EXPECT_GE(r, 1.0 - 1e-9) << context;  // Complete data at least once.
+  EXPECT_LE(r, static_cast<double>(inst.backends.size()) + 1e-9) << context;
+
+  EXPECT_GE(BalanceDeviation(alloc, inst.backends), 0.0) << context;
+
+  // Histogram accounts for every fragment.
+  size_t total = 0;
+  for (size_t count : ReplicationHistogram(alloc)) total += count;
+  EXPECT_EQ(total, inst.cls.catalog.size()) << context;
+}
+
+class AllocatorPropertySweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(AllocatorPropertySweep, AllStrategiesSatisfyInvariants) {
+  const auto [seed, nodes] = GetParam();
+  for (Granularity g : {Granularity::kTable, Granularity::kColumn}) {
+    const Instance inst = MakeInstance(seed, nodes, g);
+
+    FullReplicationAllocator full;
+    auto fa = full.Allocate(inst.cls, inst.backends);
+    ASSERT_TRUE(fa.ok()) << fa.status().ToString();
+    CheckInvariants(inst, fa.value(), "full");
+    EXPECT_NEAR(DegreeOfReplication(fa.value(), inst.cls.catalog),
+                static_cast<double>(nodes), 1e-9);
+
+    GreedyAllocator greedy;
+    auto ga = greedy.Allocate(inst.cls, inst.backends);
+    ASSERT_TRUE(ga.ok()) << ga.status().ToString();
+    CheckInvariants(inst, ga.value(), "greedy");
+
+    RandomAllocator random(seed * 31 + nodes);
+    auto ra = random.Allocate(inst.cls, inst.backends);
+    ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+    CheckInvariants(inst, ra.value(), "random");
+
+    // Greedy never stores more than full replication.
+    EXPECT_LE(DegreeOfReplication(ga.value(), inst.cls.catalog),
+              DegreeOfReplication(fa.value(), inst.cls.catalog) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, AllocatorPropertySweep,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 16),
+                       ::testing::Values<size_t>(2, 5, 9)));
+
+class UpdateHeavySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpdateHeavySweep, UpdateHeavyWorkloadsStayValid) {
+  workloads::RandomWorkloadOptions options;
+  options.num_read_templates = 4;
+  options.num_update_templates = 8;  // Update-heavy.
+  const auto workload = workloads::MakeRandomWorkload(GetParam(), options);
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(workload.journal);
+  ASSERT_TRUE(cls.ok());
+  const Instance inst{std::move(cls).value(), HomogeneousBackends(4)};
+
+  GreedyAllocator greedy;
+  auto ga = greedy.Allocate(inst.cls, inst.backends);
+  ASSERT_TRUE(ga.ok()) << ga.status().ToString();
+  CheckInvariants(inst, ga.value(), "greedy-update-heavy");
+
+  MemeticOptions mopts;
+  mopts.population_size = 6;
+  mopts.iterations = 6;
+  mopts.seed = GetParam();
+  MemeticAllocator memetic(mopts);
+  auto ma = memetic.Improve(inst.cls, inst.backends, ga.value());
+  ASSERT_TRUE(ma.ok()) << ma.status().ToString();
+  CheckInvariants(inst, ma.value(), "memetic-update-heavy");
+  EXPECT_LE(Scale(ma.value(), inst.backends),
+            Scale(ga.value(), inst.backends) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateHeavySweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+class HeterogeneousSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeterogeneousSweep, HeterogeneousBackendsStayValid) {
+  const auto workload = workloads::MakeRandomWorkload(GetParam());
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(workload.journal);
+  ASSERT_TRUE(cls.ok());
+  auto backends = HeterogeneousBackends({4.0, 3.0, 2.0, 1.0});
+  ASSERT_TRUE(backends.ok());
+  const Instance inst{std::move(cls).value(), backends.value()};
+
+  GreedyAllocator greedy;
+  auto ga = greedy.Allocate(inst.cls, inst.backends);
+  ASSERT_TRUE(ga.ok()) << ga.status().ToString();
+  CheckInvariants(inst, ga.value(), "greedy-heterogeneous");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeterogeneousSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,94 @@
+#include "workload/query_class.h"
+
+#include <gtest/gtest.h>
+
+namespace qcap {
+namespace {
+
+/// Builds the Appendix A classification: Q1={A} 24%, Q2={B} 20%, Q3={C}
+/// 20%, Q4={A,B} 16%; U1={A} 4%, U2={B} 10%, U3={C} 6%. Fragments A=0,
+/// B=1, C=2, each of size 1.
+Classification AppendixAClassification() {
+  Classification cls;
+  EXPECT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("C", "C", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {
+      QueryClass{{0}, 0.24, 1.0, false, "Q1", {}},
+      QueryClass{{1}, 0.20, 1.0, false, "Q2", {}},
+      QueryClass{{2}, 0.20, 1.0, false, "Q3", {}},
+      QueryClass{{0, 1}, 0.16, 1.0, false, "Q4", {}},
+  };
+  cls.updates = {
+      QueryClass{{0}, 0.04, 1.0, true, "U1", {}},
+      QueryClass{{1}, 0.10, 1.0, true, "U2", {}},
+      QueryClass{{2}, 0.06, 1.0, true, "U3", {}},
+  };
+  return cls;
+}
+
+TEST(QueryClassTest, OverlappingUpdates) {
+  const Classification cls = AppendixAClassification();
+  EXPECT_EQ(cls.OverlappingUpdates(cls.reads[0]), (std::vector<size_t>{0}));
+  EXPECT_EQ(cls.OverlappingUpdates(cls.reads[1]), (std::vector<size_t>{1}));
+  EXPECT_EQ(cls.OverlappingUpdates(cls.reads[2]), (std::vector<size_t>{2}));
+  EXPECT_EQ(cls.OverlappingUpdates(cls.reads[3]), (std::vector<size_t>{0, 1}));
+  // An update class overlaps itself.
+  EXPECT_EQ(cls.OverlappingUpdates(cls.updates[0]), (std::vector<size_t>{0}));
+}
+
+TEST(QueryClassTest, OverlappingUpdateWeight) {
+  const Classification cls = AppendixAClassification();
+  EXPECT_NEAR(cls.OverlappingUpdateWeight(cls.reads[0]), 0.04, 1e-12);
+  // Q4 drags U1 + U2 = 14%.
+  EXPECT_NEAR(cls.OverlappingUpdateWeight(cls.reads[3]), 0.14, 1e-12);
+}
+
+TEST(QueryClassTest, FragmentsWithUpdates) {
+  const Classification cls = AppendixAClassification();
+  EXPECT_EQ(cls.FragmentsWithUpdates(cls.reads[0]), (FragmentSet{0}));
+  EXPECT_EQ(cls.FragmentsWithUpdates(cls.reads[3]), (FragmentSet{0, 1}));
+}
+
+TEST(QueryClassTest, NumClassesAndTotalWeight) {
+  const Classification cls = AppendixAClassification();
+  EXPECT_EQ(cls.NumClasses(), 7u);
+  EXPECT_NEAR(cls.TotalWeight(), 1.0, 1e-12);
+}
+
+TEST(QueryClassTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(AppendixAClassification().Validate().ok());
+}
+
+TEST(QueryClassTest, ValidateRejectsEmptyFragmentSet) {
+  Classification cls = AppendixAClassification();
+  cls.reads[0].fragments.clear();
+  EXPECT_FALSE(cls.Validate().ok());
+}
+
+TEST(QueryClassTest, ValidateRejectsBadWeightSum) {
+  Classification cls = AppendixAClassification();
+  cls.reads[0].weight = 0.5;
+  EXPECT_FALSE(cls.Validate().ok());
+}
+
+TEST(QueryClassTest, ValidateRejectsUnknownFragment) {
+  Classification cls = AppendixAClassification();
+  cls.reads[0].fragments = {99};
+  EXPECT_FALSE(cls.Validate().ok());
+}
+
+TEST(QueryClassTest, ValidateRejectsUnsortedFragments) {
+  Classification cls = AppendixAClassification();
+  cls.reads[3].fragments = {1, 0};
+  EXPECT_FALSE(cls.Validate().ok());
+}
+
+TEST(QueryClassTest, ValidateRejectsMisplacedUpdateFlag) {
+  Classification cls = AppendixAClassification();
+  cls.reads[0].is_update = true;
+  EXPECT_FALSE(cls.Validate().ok());
+}
+
+}  // namespace
+}  // namespace qcap

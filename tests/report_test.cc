@@ -1,0 +1,55 @@
+#include "model/report.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "test_util.h"
+
+namespace qcap {
+namespace {
+
+TEST(ReportTest, ClassificationReportListsEveryClass) {
+  const Classification cls = testutil::AppendixAClassification();
+  const std::string report = RenderClassificationReport(cls);
+  for (const char* label : {"Q1", "Q2", "Q3", "Q4", "U1", "U2", "U3"}) {
+    EXPECT_NE(report.find(label), std::string::npos) << label;
+  }
+  EXPECT_NE(report.find("4 read classes"), std::string::npos);
+  EXPECT_NE(report.find("3 update classes"), std::string::npos);
+  // Q4 drags U1+U2 = 14%.
+  EXPECT_NE(report.find("14.0%"), std::string::npos);
+}
+
+TEST(ReportTest, AllocationReportCarriesMetricsAndBackends) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = testutil::AppendixABackends();
+  GreedyAllocator greedy;
+  auto alloc = greedy.Allocate(cls, backends);
+  ASSERT_TRUE(alloc.ok());
+  const std::string report =
+      RenderAllocationReport(cls, alloc.value(), backends);
+  EXPECT_NE(report.find("scale 1.240"), std::string::npos);
+  EXPECT_NE(report.find("## B1"), std::string::npos);
+  EXPECT_NE(report.find("## B4"), std::string::npos);
+  EXPECT_NE(report.find("Replication histogram"), std::string::npos);
+  // B1 carries 37.2%.
+  EXPECT_NE(report.find("37.2%"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyBackendRendered) {
+  const Classification cls = testutil::Figure2Classification();
+  Allocation a(2, 3, 4, 0);
+  a.PlaceSet(0, {0, 1, 2});
+  for (size_t r = 0; r < 4; ++r) {
+    a.set_read_assign(0, r, cls.reads[r].weight);
+  }
+  // Backend 2 is empty; the report must still render it.
+  a.Place(1, 0);
+  const auto backends = HomogeneousBackends(2);
+  const std::string report = RenderAllocationReport(cls, a, backends);
+  EXPECT_NE(report.find("## B2"), std::string::npos);
+  EXPECT_NE(report.find("(none)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qcap

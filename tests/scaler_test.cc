@@ -1,0 +1,110 @@
+#include "autonomic/scaler.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "workload/classifier.h"
+
+namespace qcap {
+namespace {
+
+struct ScalerFixture {
+  engine::Catalog catalog = workloads::TraceCatalog();
+  Classification cls;
+
+  ScalerFixture() {
+    Classifier classifier(catalog, {Granularity::kTable, 4, true});
+    QueryJournal journal = workloads::TraceJournal(20000, 3);
+    auto result = classifier.Classify(journal);
+    EXPECT_TRUE(result.ok());
+    cls = std::move(result).value();
+  }
+};
+
+AutonomicConfig FastConfig() {
+  AutonomicConfig config;
+  config.slice_seconds = 4.0;
+  config.max_nodes = 5;
+  // Simulated backends are fast: scale the trace up and react just above
+  // the uncongested response time (same tuning as the bench).
+  config.trace_multiplier = 150.0;
+  config.scale_up_response_ms = 14.0;
+  config.scale_down_utilization = 0.35;
+  config.sim.cost_params.memory_bytes = 1e12;
+  config.sim.servers_per_backend = 2;
+  return config;
+}
+
+TEST(ScalerTest, ScalesUpUnderLoadAndDownAtNight) {
+  ScalerFixture fx;
+  GreedyAllocator greedy;
+  AutonomicScaler scaler(fx.cls, &greedy, FastConfig());
+  const auto day = workloads::SampleDay(3);
+  auto result = scaler.Replay(day);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->steps.size(), day.size());
+
+  size_t min_nodes = 100, max_nodes = 0;
+  for (const auto& step : result->steps) {
+    min_nodes = std::min(min_nodes, step.nodes);
+    max_nodes = std::max(max_nodes, step.nodes);
+  }
+  EXPECT_EQ(min_nodes, 1u);  // Night trough runs on one node.
+  EXPECT_GT(max_nodes, 2u);  // Daytime peak grows the cluster.
+
+  // Night bucket (4 am) uses fewer nodes than the evening peak (7 pm).
+  const auto& night = result->steps[4 * 6];
+  const auto& evening = result->steps[19 * 6];
+  EXPECT_LT(night.nodes, evening.nodes);
+}
+
+TEST(ScalerTest, FixedClusterDoesNotScale) {
+  ScalerFixture fx;
+  GreedyAllocator greedy;
+  AutonomicScaler scaler(fx.cls, &greedy, FastConfig());
+  const auto day = workloads::SampleDay(3);
+  auto result = scaler.Replay(day, /*fixed_nodes=*/5);
+  ASSERT_TRUE(result.ok());
+  for (const auto& step : result->steps) {
+    EXPECT_EQ(step.nodes, 5u);
+    EXPECT_DOUBLE_EQ(step.moved_bytes, 0.0);
+  }
+}
+
+TEST(ScalerTest, AutonomicUsesFewerNodeSecondsThanStaticMax) {
+  ScalerFixture fx;
+  GreedyAllocator greedy;
+  AutonomicScaler scaler(fx.cls, &greedy, FastConfig());
+  const auto day = workloads::SampleDay(3);
+  auto autonomic = scaler.Replay(day);
+  auto fixed = scaler.Replay(day, 5);
+  ASSERT_TRUE(autonomic.ok());
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_LT(autonomic->node_seconds, 0.8 * fixed->node_seconds);
+}
+
+TEST(ScalerTest, ResizesReportMovedBytes) {
+  ScalerFixture fx;
+  GreedyAllocator greedy;
+  AutonomicScaler scaler(fx.cls, &greedy, FastConfig());
+  const auto day = workloads::SampleDay(3);
+  auto result = scaler.Replay(day);
+  ASSERT_TRUE(result.ok());
+  double total_moved = 0.0;
+  for (const auto& step : result->steps) total_moved += step.moved_bytes;
+  EXPECT_GT(total_moved, 0.0);  // At least one resize happened.
+}
+
+TEST(ScalerTest, RejectsBadInput) {
+  ScalerFixture fx;
+  GreedyAllocator greedy;
+  AutonomicScaler scaler(fx.cls, &greedy, FastConfig());
+  EXPECT_FALSE(scaler.Replay({}).ok());
+  AutonomicScaler null_scaler(fx.cls, nullptr, FastConfig());
+  EXPECT_FALSE(null_scaler.Replay(workloads::SampleDay(1)).ok());
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,91 @@
+#include "cluster/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qcap {
+namespace {
+
+TEST(SchedulerTest, ReadCandidatesRequireAllFragments) {
+  const Classification cls = testutil::Figure2Classification();
+  Allocation a(3, 3, 4, 0);
+  a.PlaceSet(0, {0, 1});  // A, B.
+  a.PlaceSet(1, {1, 2});  // B, C.
+  a.Place(2, 0);          // A.
+  auto sched = Scheduler::Build(cls, a);
+  ASSERT_TRUE(sched.ok()) << sched.status().ToString();
+  // C1 = {A}: backends 0 and 2.
+  EXPECT_EQ(sched->ReadCandidates(0), (std::vector<size_t>{0, 2}));
+  // C4 = {A, B}: backend 0 only.
+  EXPECT_EQ(sched->ReadCandidates(3), (std::vector<size_t>{0}));
+}
+
+TEST(SchedulerTest, UpdateTargetsUseOverlap) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a(2, 3, 4, 3);
+  a.PlaceSet(0, {0, 1});
+  a.Place(1, 2);
+  auto sched = Scheduler::Build(cls, a);
+  ASSERT_TRUE(sched.ok());
+  EXPECT_EQ(sched->UpdateTargets(0), (std::vector<size_t>{0}));  // U1 = {A}.
+  EXPECT_EQ(sched->UpdateTargets(2), (std::vector<size_t>{1}));  // U3 = {C}.
+}
+
+TEST(SchedulerTest, BuildFailsWhenClassUnservable) {
+  const Classification cls = testutil::Figure2Classification();
+  Allocation a(2, 3, 4, 0);
+  a.Place(0, 0);  // Only A anywhere: C2={B} unservable.
+  auto sched = Scheduler::Build(cls, a);
+  EXPECT_FALSE(sched.ok());
+}
+
+TEST(SchedulerTest, BuildFailsWhenUpdateHomeless) {
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 0.8, 1.0, false, "Q1", {}}};
+  cls.updates = {QueryClass{{1}, 0.2, 1.0, true, "U1", {}}};
+  Allocation a(1, 2, 1, 1);
+  a.Place(0, 0);  // B (and thus U1) nowhere.
+  EXPECT_FALSE(Scheduler::Build(cls, a).ok());
+}
+
+TEST(SchedulerTest, LeastPendingWins) {
+  const Classification cls = testutil::Figure2Classification();
+  Allocation a(3, 3, 4, 0);
+  for (size_t b = 0; b < 3; ++b) a.PlaceSet(b, {0, 1, 2});
+  auto sched = Scheduler::Build(cls, a);
+  ASSERT_TRUE(sched.ok());
+  EXPECT_EQ(sched->PickReadBackend(0, {5, 1, 9}), 1u);
+  EXPECT_EQ(sched->PickReadBackend(0, {0, 1, 9}), 0u);
+}
+
+TEST(SchedulerTest, TiesRotateRoundRobin) {
+  const Classification cls = testutil::Figure2Classification();
+  Allocation a(3, 3, 4, 0);
+  for (size_t b = 0; b < 3; ++b) a.PlaceSet(b, {0, 1, 2});
+  auto sched = Scheduler::Build(cls, a);
+  ASSERT_TRUE(sched.ok());
+  std::vector<size_t> picks;
+  for (int i = 0; i < 6; ++i) {
+    picks.push_back(sched->PickReadBackend(0, {2, 2, 2}));
+  }
+  // All backends tie, so every backend must be chosen at least once.
+  std::set<size_t> distinct(picks.begin(), picks.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(SchedulerTest, CandidateWithStrictlyFewerPendingAlwaysBeatsRotation) {
+  const Classification cls = testutil::Figure2Classification();
+  Allocation a(3, 3, 4, 0);
+  for (size_t b = 0; b < 3; ++b) a.PlaceSet(b, {0, 1, 2});
+  auto sched = Scheduler::Build(cls, a);
+  ASSERT_TRUE(sched.ok());
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(sched->PickReadBackend(0, {4, 4, 2}), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,191 @@
+#include "solver/simplex.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace qcap {
+namespace {
+
+TEST(SimplexTest, SimpleMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {-3.0, -2.0};
+  lp.AddConstraint({1.0, 1.0}, Relation::kLessEqual, 4.0);
+  lp.AddConstraint({1.0, 3.0}, Relation::kLessEqual, 6.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -12.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + y s.t. x + y = 2, x - y = 0 -> x=y=1.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.AddConstraint({1.0, 1.0}, Relation::kEqual, 2.0);
+  lp.AddConstraint({1.0, -1.0}, Relation::kEqual, 0.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 1.0, 1e-9);
+  EXPECT_NEAR(sol->objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> x=4 (y=0), obj 8.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {2.0, 3.0};
+  lp.AddConstraint({1.0, 1.0}, Relation::kGreaterEqual, 4.0);
+  lp.AddVarBound(0, Relation::kGreaterEqual, 1.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 8.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.AddConstraint({-1.0}, Relation::kLessEqual, -3.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.AddVarBound(0, Relation::kLessEqual, 1.0);
+  lp.AddVarBound(0, Relation::kGreaterEqual, 2.0);
+  auto sol = SolveLp(lp);
+  EXPECT_TRUE(sol.status().IsInfeasible());
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x with x only bounded below.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  lp.AddVarBound(0, Relation::kGreaterEqual, 0.0);
+  auto sol = SolveLp(lp);
+  EXPECT_TRUE(sol.status().IsUnbounded());
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Klee-Minty-ish degenerate constraints still terminate via Bland.
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.objective = {-100.0, -10.0, -1.0};
+  lp.AddConstraint({1.0, 0.0, 0.0}, Relation::kLessEqual, 1.0);
+  lp.AddConstraint({20.0, 1.0, 0.0}, Relation::kLessEqual, 100.0);
+  lp.AddConstraint({200.0, 20.0, 1.0}, Relation::kLessEqual, 10000.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, -10000.0, 1e-6);
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // x + y = 2 stated twice.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  lp.AddConstraint({1.0, 1.0}, Relation::kEqual, 2.0);
+  lp.AddConstraint({1.0, 1.0}, Relation::kEqual, 2.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->objective, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, RejectsMalformedInput) {
+  LinearProgram lp;
+  lp.num_vars = 0;
+  EXPECT_FALSE(SolveLp(lp).ok());
+  lp.num_vars = 2;
+  lp.objective = {1.0};  // Wrong length.
+  EXPECT_FALSE(SolveLp(lp).ok());
+}
+
+TEST(SimplexTest, ZeroRhsEquality) {
+  // min x + y s.t. x - y = 0, x + y >= 2.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.AddConstraint({1.0, -1.0}, Relation::kEqual, 0.0);
+  lp.AddConstraint({1.0, 1.0}, Relation::kGreaterEqual, 2.0);
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->objective, 2.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], sol->x[1], 1e-9);
+}
+
+/// Random transportation-style LPs: feasibility and optimality sanity via
+/// weak duality bound checks (objective must be >= a trivial lower bound).
+class SimplexRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexRandomSweep, TransportationProblems) {
+  Rng rng(GetParam());
+  // Supplies and demands balanced; min-cost transportation is feasible and
+  // bounded.
+  const size_t m = 3, n = 4;
+  std::vector<double> supply(m), demand(n);
+  double total = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    supply[i] = 1.0 + rng.NextDouble() * 9.0;
+    total += supply[i];
+  }
+  double left = total;
+  for (size_t j = 0; j + 1 < n; ++j) {
+    demand[j] = left * rng.NextDouble(0.1, 0.5);
+    left -= demand[j];
+  }
+  demand[n - 1] = left;
+
+  LinearProgram lp;
+  lp.num_vars = m * n;
+  lp.objective.resize(lp.num_vars);
+  double min_cost = 1e18;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      lp.objective[i * n + j] = 1.0 + rng.NextDouble() * 9.0;
+      min_cost = std::min(min_cost, lp.objective[i * n + j]);
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<double> row(lp.num_vars, 0.0);
+    for (size_t j = 0; j < n; ++j) row[i * n + j] = 1.0;
+    lp.AddConstraint(std::move(row), Relation::kEqual, supply[i]);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<double> col(lp.num_vars, 0.0);
+    for (size_t i = 0; i < m; ++i) col[i * n + j] = 1.0;
+    lp.AddConstraint(std::move(col), Relation::kEqual, demand[j]);
+  }
+  auto sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  // Flow conservation holds in the solution.
+  for (size_t i = 0; i < m; ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < n; ++j) row_sum += sol->x[i * n + j];
+    EXPECT_NEAR(row_sum, supply[i], 1e-7);
+  }
+  // Objective at least (total flow) x (cheapest edge).
+  EXPECT_GE(sol->objective, total * min_cost - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,210 @@
+#include "workload/sql_parser.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "workload/classifier.h"
+#include "workloads/tpch.h"
+
+namespace qcap {
+namespace {
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  SqlParserTest() : catalog_(workloads::TpchCatalog(1.0)), parser_(catalog_) {}
+
+  const TableAccess* FindAccess(const Query& q, const std::string& table) {
+    for (const auto& a : q.accesses) {
+      if (a.table == table) return &a;
+    }
+    return nullptr;
+  }
+
+  bool HasColumn(const TableAccess& a, const std::string& col) {
+    return std::find(a.columns.begin(), a.columns.end(), col) !=
+           a.columns.end();
+  }
+
+  engine::Catalog catalog_;
+  SqlParser parser_;
+};
+
+TEST_F(SqlParserTest, SimpleSelect) {
+  auto q = parser_.Parse(
+      "SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_shipdate < "
+      "'1998-09-01'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(q->is_update);
+  ASSERT_EQ(q->accesses.size(), 1u);
+  EXPECT_EQ(q->accesses[0].table, "lineitem");
+  EXPECT_TRUE(HasColumn(q->accesses[0], "l_quantity"));
+  EXPECT_TRUE(HasColumn(q->accesses[0], "l_extendedprice"));
+  EXPECT_TRUE(HasColumn(q->accesses[0], "l_shipdate"));
+  EXPECT_EQ(q->accesses[0].columns.size(), 3u);
+}
+
+TEST_F(SqlParserTest, SelectStarMeansAllColumns) {
+  auto q = parser_.Parse("SELECT * FROM nation");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->accesses.size(), 1u);
+  // Empty column list = all columns, matching TableAccess semantics.
+  EXPECT_TRUE(q->accesses[0].columns.empty());
+}
+
+TEST_F(SqlParserTest, JoinWithAliases) {
+  auto q = parser_.Parse(
+      "SELECT c.c_name, o.o_totalprice FROM customer c JOIN orders o ON "
+      "c.c_custkey = o.o_custkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->accesses.size(), 2u);
+  const TableAccess* customer = FindAccess(*q, "customer");
+  const TableAccess* orders = FindAccess(*q, "orders");
+  ASSERT_NE(customer, nullptr);
+  ASSERT_NE(orders, nullptr);
+  EXPECT_TRUE(HasColumn(*customer, "c_name"));
+  EXPECT_TRUE(HasColumn(*customer, "c_custkey"));
+  EXPECT_TRUE(HasColumn(*orders, "o_totalprice"));
+  EXPECT_TRUE(HasColumn(*orders, "o_custkey"));
+}
+
+TEST_F(SqlParserTest, CommaJoinWithAsAliases) {
+  auto q = parser_.Parse(
+      "SELECT s.s_name, n.n_name FROM supplier AS s, nation AS n WHERE "
+      "s.s_nationkey = n.n_nationkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->accesses.size(), 2u);
+}
+
+TEST_F(SqlParserTest, BareColumnsResolvedAgainstSchema) {
+  auto q = parser_.Parse(
+      "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey "
+      "AND c_mktsegment = 'BUILDING'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const TableAccess* orders = FindAccess(*q, "orders");
+  const TableAccess* customer = FindAccess(*q, "customer");
+  ASSERT_NE(orders, nullptr);
+  ASSERT_NE(customer, nullptr);
+  EXPECT_TRUE(HasColumn(*orders, "o_orderkey"));
+  EXPECT_TRUE(HasColumn(*orders, "o_custkey"));
+  EXPECT_TRUE(HasColumn(*customer, "c_custkey"));
+  EXPECT_TRUE(HasColumn(*customer, "c_mktsegment"));
+}
+
+TEST_F(SqlParserTest, AggregatesAndGroupBy) {
+  auto q = parser_.Parse(
+      "SELECT l_returnflag, sum(l_quantity), avg(l_discount) FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag DESC");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->accesses[0].columns.size(), 3u);
+}
+
+TEST_F(SqlParserTest, CountStarIsNotAllColumns) {
+  auto q = parser_.Parse("SELECT count(*) FROM orders WHERE o_custkey = 7");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->accesses.size(), 1u);
+  EXPECT_EQ(q->accesses[0].columns.size(), 1u);  // Only o_custkey.
+}
+
+TEST_F(SqlParserTest, InsertWithColumnList) {
+  auto q = parser_.Parse(
+      "INSERT INTO orders (o_orderkey, o_custkey, o_totalprice) VALUES (1, "
+      "2, 3.5)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->is_update);
+  ASSERT_EQ(q->accesses.size(), 1u);
+  EXPECT_EQ(q->accesses[0].columns.size(), 3u);
+}
+
+TEST_F(SqlParserTest, InsertWithoutColumnListIsWholeRow) {
+  auto q = parser_.Parse("INSERT INTO region VALUES (1, 'EUROPE', 'x')");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->is_update);
+  EXPECT_TRUE(q->accesses[0].columns.empty());
+}
+
+TEST_F(SqlParserTest, UpdateStatement) {
+  auto q = parser_.Parse(
+      "UPDATE supplier SET s_acctbal = s_acctbal + 100 WHERE s_suppkey = 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->is_update);
+  ASSERT_EQ(q->accesses.size(), 1u);
+  EXPECT_TRUE(HasColumn(q->accesses[0], "s_acctbal"));
+  EXPECT_TRUE(HasColumn(q->accesses[0], "s_suppkey"));
+}
+
+TEST_F(SqlParserTest, DeleteReferencesWholeRow) {
+  auto q = parser_.Parse("DELETE FROM orders WHERE o_orderdate < '1995-01-01'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->is_update);
+  EXPECT_TRUE(q->accesses[0].columns.empty());  // All columns.
+}
+
+TEST_F(SqlParserTest, QualifiedStar) {
+  auto q = parser_.Parse(
+      "SELECT n.*, r.r_name FROM nation n JOIN region r ON n.n_regionkey = "
+      "r.r_regionkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const TableAccess* nation = FindAccess(*q, "nation");
+  ASSERT_NE(nation, nullptr);
+  EXPECT_TRUE(nation->columns.empty());  // n.* = all nation columns.
+  const TableAccess* region = FindAccess(*q, "region");
+  ASSERT_NE(region, nullptr);
+  EXPECT_FALSE(region->columns.empty());
+}
+
+TEST_F(SqlParserTest, CostIsCarried) {
+  auto q = parser_.Parse("SELECT * FROM nation", 3.25);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->cost, 3.25);
+  EXPECT_EQ(q->text, "SELECT * FROM nation");
+}
+
+TEST_F(SqlParserTest, ErrorsOnUnknownTable) {
+  auto q = parser_.Parse("SELECT x FROM ghost_table");
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST_F(SqlParserTest, ErrorsOnUnknownColumn) {
+  auto q = parser_.Parse("SELECT ghost_col FROM nation");
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST_F(SqlParserTest, ErrorsOnUnknownAlias) {
+  auto q = parser_.Parse("SELECT z.n_name FROM nation n");
+  EXPECT_TRUE(q.status().IsNotFound());
+}
+
+TEST_F(SqlParserTest, ErrorsOnUnsupportedStatement) {
+  EXPECT_EQ(parser_.Parse("CREATE TABLE foo (x int)").status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_FALSE(parser_.Parse("").ok());
+}
+
+TEST_F(SqlParserTest, ErrorsOnUnterminatedString) {
+  EXPECT_FALSE(parser_.Parse("SELECT * FROM nation WHERE n_name = 'oops").ok());
+}
+
+TEST_F(SqlParserTest, ParsedJournalClassifies) {
+  // End to end: a journal built from SQL text classifies at column
+  // granularity like hand-built access lists.
+  QueryJournal journal;
+  SqlParser parser(catalog_);
+  auto q1 = parser.Parse(
+      "SELECT l_returnflag, sum(l_quantity) FROM lineitem GROUP BY "
+      "l_returnflag",
+      5.0);
+  auto q2 = parser.Parse("SELECT c_name, c_acctbal FROM customer", 1.0);
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  journal.Record(q1.value(), 100);
+  journal.Record(q2.value(), 300);
+  Classifier classifier(catalog_, {Granularity::kColumn, 4, true});
+  auto cls = classifier.Classify(journal);
+  ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+  EXPECT_EQ(cls->reads.size(), 2u);
+  EXPECT_NEAR(cls->reads[0].weight, 500.0 / 800.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qcap

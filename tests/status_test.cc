@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace qcap {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::Unbounded("x").code(), StatusCode::kUnbounded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::InvalidArgument("bad arg").message(), "bad arg");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("thing").ToString(), "NotFound: thing");
+  EXPECT_EQ(Status::Infeasible("no way").ToString(), "Infeasible: no way");
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::Infeasible("").IsInfeasible());
+  EXPECT_TRUE(Status::Unbounded("").IsUnbounded());
+  EXPECT_TRUE(Status::ResourceExhausted("").IsResourceExhausted());
+  EXPECT_FALSE(Status::OK().IsNotFound());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::Internal("boom");
+  Status copy = st;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r.ValueOr("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailingHelper() { return Status::OutOfRange("limit"); }
+
+Status UsesReturnNotOk() {
+  QCAP_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(MacroTest, ReturnNotOkPropagates) {
+  Status st = UsesReturnNotOk();
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+}
+
+Result<int> MakeSeven() { return 7; }
+
+Status UsesAssignOrReturn(int* out) {
+  QCAP_ASSIGN_OR_RETURN(*out, MakeSeven());
+  return Status::OK();
+}
+
+TEST(MacroTest, AssignOrReturnAssigns) {
+  int x = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&x).ok());
+  EXPECT_EQ(x, 7);
+}
+
+Result<int> MakeError() { return Status::Infeasible("lp"); }
+
+Status UsesAssignOrReturnError(int* out) {
+  QCAP_ASSIGN_OR_RETURN(*out, MakeError());
+  return Status::OK();
+}
+
+TEST(MacroTest, AssignOrReturnPropagatesError) {
+  int x = 123;
+  Status st = UsesAssignOrReturnError(&x);
+  EXPECT_TRUE(st.IsInfeasible());
+  EXPECT_EQ(x, 123);
+}
+
+}  // namespace
+}  // namespace qcap

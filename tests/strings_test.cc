@@ -1,0 +1,46 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace qcap {
+namespace {
+
+TEST(StringsTest, JoinEmpty) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringsTest, JoinSingle) { EXPECT_EQ(Join({"a"}, ","), "a"); }
+
+TEST(StringsTest, JoinMany) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(StringsTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.254, 1), "25.4%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0, 1), "0.0%");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(3.0 * 1024 * 1024), "3.0 MiB");
+  EXPECT_EQ(FormatBytes(2.5 * 1024 * 1024 * 1024), "2.5 GiB");
+}
+
+TEST(StringsTest, PadLeft) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StringsTest, PadRight) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,56 @@
+// Shared fixtures for the test suite: the paper's worked examples as
+// ready-made classifications.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "model/backend.h"
+#include "workload/query_class.h"
+
+namespace qcap::testutil {
+
+/// Figure 2 (Section 3): read-only, C1={A} 30%, C2={B} 25%, C3={C} 25%,
+/// C4={A,B} 20%; equal-size relations A,B,C.
+inline Classification Figure2Classification() {
+  Classification cls;
+  EXPECT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("C", "C", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {
+      QueryClass{{0}, 0.30, 1.0, false, "C1", {}},
+      QueryClass{{1}, 0.25, 1.0, false, "C2", {}},
+      QueryClass{{2}, 0.25, 1.0, false, "C3", {}},
+      QueryClass{{0, 1}, 0.20, 1.0, false, "C4", {}},
+  };
+  return cls;
+}
+
+/// Appendix A: Q1={A} 24%, Q2={B} 20%, Q3={C} 20%, Q4={A,B} 16%;
+/// U1={A} 4%, U2={B} 10%, U3={C} 6%; equal-size relations.
+inline Classification AppendixAClassification() {
+  Classification cls;
+  EXPECT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("C", "C", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {
+      QueryClass{{0}, 0.24, 1.0, false, "Q1", {}},
+      QueryClass{{1}, 0.20, 1.0, false, "Q2", {}},
+      QueryClass{{2}, 0.20, 1.0, false, "Q3", {}},
+      QueryClass{{0, 1}, 0.16, 1.0, false, "Q4", {}},
+  };
+  cls.updates = {
+      QueryClass{{0}, 0.04, 1.0, true, "U1", {}},
+      QueryClass{{1}, 0.10, 1.0, true, "U2", {}},
+      QueryClass{{2}, 0.06, 1.0, true, "U3", {}},
+  };
+  return cls;
+}
+
+/// The Appendix A heterogeneous backends: 30/30/20/20.
+inline std::vector<BackendSpec> AppendixABackends() {
+  auto r = HeterogeneousBackends({0.3, 0.3, 0.2, 0.2});
+  EXPECT_TRUE(r.ok());
+  return r.value();
+}
+
+}  // namespace qcap::testutil

@@ -1,0 +1,122 @@
+#include "workloads/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.h"
+#include "model/metrics.h"
+#include "model/validation.h"
+#include "workload/classifier.h"
+
+namespace qcap {
+namespace {
+
+using workloads::kTimeSeriesPartitions;
+using workloads::TimeSeriesCatalog;
+using workloads::TimeSeriesJournal;
+using workloads::TimeSeriesQueries;
+
+TEST(TimeSeriesTest, SchemaAndTemplates) {
+  const engine::Catalog catalog = TimeSeriesCatalog();
+  EXPECT_EQ(catalog.NumTables(), 3u);
+  const auto queries = TimeSeriesQueries();
+  ASSERT_EQ(queries.size(), 5u);
+  // Exactly one update class, appending to the newest partition only.
+  size_t updates = 0;
+  for (const auto& q : queries) {
+    if (q.is_update) {
+      ++updates;
+      ASSERT_EQ(q.accesses.size(), 1u);
+      EXPECT_EQ(q.accesses[0].partitions, (std::vector<int>{7}));
+    }
+    for (const auto& access : q.accesses) {
+      EXPECT_TRUE(catalog.HasTable(access.table));
+      for (int p : access.partitions) {
+        EXPECT_GE(p, 0);
+        EXPECT_LT(p, kTimeSeriesPartitions);
+      }
+    }
+  }
+  EXPECT_EQ(updates, 1u);
+}
+
+TEST(TimeSeriesTest, JournalWeights) {
+  const engine::Catalog catalog = TimeSeriesCatalog();
+  Classifier classifier(
+      catalog, {Granularity::kHorizontal, kTimeSeriesPartitions, true});
+  auto cls = classifier.Classify(TimeSeriesJournal());
+  ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+  ASSERT_EQ(cls->updates.size(), 1u);
+  EXPECT_NEAR(cls->updates[0].weight, 0.15, 0.01);
+  EXPECT_EQ(cls->reads.size(), 4u);
+}
+
+TEST(TimeSeriesTest, HorizontalIsolatesIngest) {
+  const engine::Catalog catalog = TimeSeriesCatalog();
+  const QueryJournal journal = TimeSeriesJournal();
+  Classifier hor(catalog,
+                 {Granularity::kHorizontal, kTimeSeriesPartitions, true});
+  Classifier tbl(catalog, {Granularity::kTable, kTimeSeriesPartitions, true});
+  auto h = hor.Classify(journal);
+  auto t = tbl.Classify(journal);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(t.ok());
+  // Horizontally, no read class overlaps the ingest partition; at table
+  // granularity every read class drags the ingest class.
+  for (const auto& r : h->reads) {
+    EXPECT_TRUE(h->OverlappingUpdates(r).empty()) << r.label;
+  }
+  for (const auto& r : t->reads) {
+    EXPECT_EQ(t->OverlappingUpdates(r).size(), 1u) << r.label;
+  }
+  // Eq. 17: the table bound is the same 1/0.15 (the ingest class bounds
+  // both), but the *achievable* allocation differs (see below).
+  EXPECT_NEAR(TheoreticalMaxSpeedup(h.value()), 1.0 / 0.15, 0.05);
+}
+
+TEST(TimeSeriesTest, HorizontalAllocationBeatsTable) {
+  const engine::Catalog catalog = TimeSeriesCatalog();
+  const QueryJournal journal = TimeSeriesJournal();
+  GreedyAllocator greedy;
+  const auto backends = HomogeneousBackends(8);
+
+  Classifier hor(catalog,
+                 {Granularity::kHorizontal, kTimeSeriesPartitions, true});
+  Classifier tbl(catalog, {Granularity::kTable, kTimeSeriesPartitions, true});
+  auto h = hor.Classify(journal);
+  auto t = tbl.Classify(journal);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(t.ok());
+
+  auto ha = greedy.Allocate(h.value(), backends);
+  auto ta = greedy.Allocate(t.value(), backends);
+  ASSERT_TRUE(ha.ok()) << ha.status().ToString();
+  ASSERT_TRUE(ta.ok()) << ta.status().ToString();
+  EXPECT_TRUE(ValidateAllocation(h.value(), ha.value(), backends).ok());
+  EXPECT_TRUE(ValidateAllocation(t.value(), ta.value(), backends).ok());
+
+  const double speedup_h = Speedup(ha.value(), backends);
+  const double speedup_t = Speedup(ta.value(), backends);
+  EXPECT_GT(speedup_h, 1.3 * speedup_t);
+  // Table granularity: every backend pays the 15% ingest ->
+  // speedup <= n / (0.15 n + 0.85).
+  EXPECT_LE(speedup_t, 8.0 / (0.15 * 8.0 + 0.85) + 0.2);
+}
+
+TEST(TimeSeriesTest, PartitionFragmentsSized) {
+  const engine::Catalog catalog = TimeSeriesCatalog();
+  Classifier classifier(
+      catalog, {Granularity::kHorizontal, kTimeSeriesPartitions, true});
+  auto cls = classifier.Classify(TimeSeriesJournal());
+  ASSERT_TRUE(cls.ok());
+  // events split into 8 fragments + sensors/sites into 8 each.
+  EXPECT_EQ(cls->catalog.size(), 24u);
+  auto events = catalog.TableBytes("events");
+  ASSERT_TRUE(events.ok());
+  auto frag = cls->catalog.Find("events#0");
+  ASSERT_TRUE(frag.ok());
+  EXPECT_NEAR(cls->catalog.Get(frag.value()).size_bytes,
+              events.value() / kTimeSeriesPartitions, 1.0);
+}
+
+}  // namespace
+}  // namespace qcap

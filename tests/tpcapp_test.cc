@@ -1,0 +1,135 @@
+#include "workloads/tpcapp.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/classifier.h"
+
+namespace qcap {
+namespace {
+
+using workloads::TpcAppCatalog;
+using workloads::TpcAppJournal;
+using workloads::TpcAppLargeJournal;
+using workloads::TpcAppQueries;
+
+TEST(TpcAppTest, CatalogSizeMatchesPaperEb300) {
+  const engine::Catalog catalog = TpcAppCatalog(300.0);
+  const double mb = catalog.TotalBytes() / (1024.0 * 1024.0);
+  // The paper reports ~280 MB at EB=300.
+  EXPECT_GT(mb, 180.0);
+  EXPECT_LT(mb, 380.0);
+}
+
+TEST(TpcAppTest, LargeScaleAboutEightGigabytes) {
+  const engine::Catalog catalog = TpcAppCatalog(12000.0);
+  const double gb = catalog.TotalBytes() / (1024.0 * 1024.0 * 1024.0);
+  EXPECT_GT(gb, 6.0);
+  EXPECT_LT(gb, 12.0);
+}
+
+TEST(TpcAppTest, TemplatesReferenceValidColumns) {
+  const engine::Catalog catalog = TpcAppCatalog();
+  for (const auto& q : TpcAppQueries()) {
+    for (const auto& access : q.accesses) {
+      auto table = catalog.FindTable(access.table);
+      ASSERT_TRUE(table.ok()) << q.text << " references " << access.table;
+      for (const auto& col : access.columns) {
+        EXPECT_GE(table.value()->ColumnIndex(col), 0)
+            << q.text << ": " << access.table << "." << col;
+      }
+    }
+  }
+}
+
+TEST(TpcAppTest, ReadWriteCountRatioOneToSeven) {
+  const QueryJournal journal = TpcAppJournal(200000);
+  uint64_t reads = 0, writes = 0;
+  for (size_t i = 0; i < journal.NumDistinct(); ++i) {
+    if (journal.queries()[i].is_update) {
+      writes += journal.count(i);
+    } else {
+      reads += journal.count(i);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(reads), 7.0,
+              0.2);
+}
+
+TEST(TpcAppTest, UpdateWeightIsQuarter) {
+  const engine::Catalog catalog = TpcAppCatalog();
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(TpcAppJournal());
+  ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+  double update_weight = 0.0;
+  for (const auto& u : cls->updates) update_weight += u.weight;
+  EXPECT_NEAR(update_weight, 0.25, 0.01);
+}
+
+TEST(TpcAppTest, BestSellersIsHalfTheWorkload) {
+  const engine::Catalog catalog = TpcAppCatalog();
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(TpcAppJournal());
+  ASSERT_TRUE(cls.ok());
+  // Heaviest read class: 50% of the weight from 1.5% of the queries.
+  const QueryClass& heavy = cls->reads[0];
+  EXPECT_NEAR(heavy.weight, 0.50, 0.01);
+}
+
+TEST(TpcAppTest, OrderLineWritesThirteenPercent) {
+  const engine::Catalog catalog = TpcAppCatalog();
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(TpcAppJournal());
+  ASSERT_TRUE(cls.ok());
+  double max_update = 0.0;
+  for (const auto& u : cls->updates) max_update = std::max(max_update, u.weight);
+  EXPECT_NEAR(max_update, 0.13, 0.01);
+}
+
+TEST(TpcAppTest, EightTableClassesTenColumnClasses) {
+  const engine::Catalog catalog = TpcAppCatalog();
+  Classifier table_cls(catalog, {Granularity::kTable, 4, true});
+  auto t = table_cls.Classify(TpcAppJournal());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumClasses(), 8u);
+  Classifier column_cls(catalog, {Granularity::kColumn, 4, true});
+  auto c = column_cls.Classify(TpcAppJournal());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClasses(), 10u);
+}
+
+TEST(TpcAppTest, UpdatedTablesFullyAllocatedAtColumnGranularity) {
+  // "All tables that are queried were also updated, therefore the
+  // column-based allocation always allocated the complete tables" -- update
+  // classes reference every column of their table.
+  const engine::Catalog catalog = TpcAppCatalog();
+  Classifier classifier(catalog, {Granularity::kColumn, 4, true});
+  auto cls = classifier.Classify(TpcAppJournal());
+  ASSERT_TRUE(cls.ok());
+  for (const auto& u : cls->updates) {
+    ASSERT_FALSE(u.fragments.empty());
+    const std::string table = cls->catalog.Get(u.fragments[0]).table;
+    auto def = catalog.FindTable(table);
+    ASSERT_TRUE(def.ok());
+    EXPECT_EQ(u.fragments.size(), def.value()->columns.size())
+        << "update on " << table;
+  }
+}
+
+TEST(TpcAppTest, LargeJournalBalancedWeights) {
+  const engine::Catalog catalog = TpcAppCatalog(12000.0);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(TpcAppLargeJournal());
+  ASSERT_TRUE(cls.ok());
+  double update_weight = 0.0;
+  for (const auto& u : cls->updates) update_weight += u.weight;
+  // Fig. 4i variant: ~1:1 read-to-update weight.
+  EXPECT_NEAR(update_weight, 0.50, 0.02);
+}
+
+TEST(TpcAppTest, JournalScalesByTotal) {
+  const QueryJournal small = TpcAppJournal(20000);
+  EXPECT_NEAR(static_cast<double>(small.TotalExecutions()), 20000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace qcap

@@ -1,0 +1,108 @@
+#include "workloads/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/classifier.h"
+
+namespace qcap {
+namespace {
+
+using workloads::TpchCatalog;
+using workloads::TpchJournal;
+using workloads::TpchQueries;
+
+TEST(TpchTest, CatalogHasEightTables) {
+  const engine::Catalog catalog = TpchCatalog();
+  EXPECT_EQ(catalog.NumTables(), 8u);
+  for (const char* name : {"region", "nation", "supplier", "customer", "part",
+                           "partsupp", "orders", "lineitem"}) {
+    EXPECT_TRUE(catalog.HasTable(name)) << name;
+  }
+}
+
+TEST(TpchTest, Sf1IsAboutOneGigabyte) {
+  const engine::Catalog catalog = TpchCatalog(1.0);
+  const double gb = catalog.TotalBytes() / (1024.0 * 1024.0 * 1024.0);
+  EXPECT_GT(gb, 0.7);
+  EXPECT_LT(gb, 1.4);
+}
+
+TEST(TpchTest, FactTablesDominate) {
+  // The paper: lineitem + orders amount to ~80% of the data.
+  const engine::Catalog catalog = TpchCatalog(1.0);
+  const double fact = catalog.TableBytes("lineitem").value() +
+                      catalog.TableBytes("orders").value();
+  EXPECT_GT(fact / catalog.TotalBytes(), 0.75);
+}
+
+TEST(TpchTest, NineteenTemplates) {
+  const auto queries = TpchQueries();
+  EXPECT_EQ(queries.size(), 19u);  // 22 minus Q17, Q20, Q21.
+  for (const auto& q : queries) {
+    EXPECT_FALSE(q.is_update);
+    EXPECT_GT(q.cost, 0.0);
+    EXPECT_FALSE(q.accesses.empty());
+  }
+}
+
+TEST(TpchTest, TemplatesReferenceValidColumns) {
+  const engine::Catalog catalog = TpchCatalog();
+  for (const auto& q : TpchQueries()) {
+    for (const auto& access : q.accesses) {
+      auto table = catalog.FindTable(access.table);
+      ASSERT_TRUE(table.ok()) << q.text << " references " << access.table;
+      for (const auto& col : access.columns) {
+        EXPECT_GE(table.value()->ColumnIndex(col), 0)
+            << q.text << " references " << access.table << "." << col;
+      }
+    }
+  }
+}
+
+TEST(TpchTest, JournalUniformCounts) {
+  const QueryJournal journal = TpchJournal(10000);
+  EXPECT_EQ(journal.NumDistinct(), 19u);
+  EXPECT_EQ(journal.TotalExecutions(), 10000u);
+  for (size_t i = 0; i < journal.NumDistinct(); ++i) {
+    EXPECT_NEAR(static_cast<double>(journal.count(i)), 10000.0 / 19.0, 1.0);
+  }
+}
+
+TEST(TpchTest, TableClassificationIsReadOnly) {
+  const engine::Catalog catalog = TpchCatalog();
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(TpchJournal(10000));
+  ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+  EXPECT_TRUE(cls->updates.empty());
+  EXPECT_EQ(cls->catalog.size(), 8u);
+  // 19 templates with distinct table sets... some may merge; expect >= 12.
+  EXPECT_GE(cls->reads.size(), 12u);
+  EXPECT_TRUE(cls->Validate().ok());
+}
+
+TEST(TpchTest, ColumnClassificationHas61Fragments) {
+  const engine::Catalog catalog = TpchCatalog();
+  Classifier classifier(catalog, {Granularity::kColumn, 4, true});
+  auto cls = classifier.Classify(TpchJournal(10000));
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(cls->catalog.size(), 61u);  // Total TPC-H columns.
+  EXPECT_GE(cls->reads.size(), 18u);    // Column sets are nearly all distinct.
+}
+
+TEST(TpchTest, WeightsAreSkewed) {
+  // "query classes differ considerably in their weight" -- the heaviest
+  // class should be at least 3x the lightest.
+  const engine::Catalog catalog = TpchCatalog();
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(TpchJournal(10000));
+  ASSERT_TRUE(cls.ok());
+  double min_w = 1.0, max_w = 0.0;
+  for (const auto& c : cls->reads) {
+    min_w = std::min(min_w, c.weight);
+    max_w = std::max(max_w, c.weight);
+  }
+  EXPECT_GT(max_w / min_w, 3.0);
+}
+
+}  // namespace
+}  // namespace qcap

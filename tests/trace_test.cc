@@ -1,0 +1,110 @@
+#include "workloads/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/classifier.h"
+
+namespace qcap {
+namespace {
+
+using workloads::DiurnalClassMix;
+using workloads::DiurnalRate;
+using workloads::kTraceClasses;
+using workloads::SampleDay;
+using workloads::TraceCatalog;
+using workloads::TraceJournal;
+using workloads::TraceQueries;
+
+constexpr double kHour = 3600.0;
+
+TEST(TraceTest, NightTroughDayPeak) {
+  const double night = DiurnalRate(4.0 * kHour);
+  const double noon = DiurnalRate(12.0 * kHour);
+  const double evening = DiurnalRate(19.0 * kHour);
+  EXPECT_LT(night, 500.0);
+  EXPECT_GT(noon, 3000.0);
+  EXPECT_GT(evening, noon);       // Evening peak.
+  EXPECT_GT(evening, 4000.0);
+  EXPECT_LT(evening, 5000.0);
+}
+
+TEST(TraceTest, MixSumsToOne) {
+  for (double h = 0.0; h < 24.0; h += 1.5) {
+    const auto mix = DiurnalClassMix(h * kHour);
+    ASSERT_EQ(mix.size(), kTraceClasses);
+    double total = 0.0;
+    for (double m : mix) total += m;
+    EXPECT_NEAR(total, 1.0, 1e-9) << "hour " << h;
+  }
+}
+
+TEST(TraceTest, ClassBDominatesAtNight) {
+  const auto night = DiurnalClassMix(5.0 * kHour);
+  for (size_t c = 0; c < kTraceClasses; ++c) {
+    if (c != 1) {
+      EXPECT_GT(night[1], night[c]);
+    }
+  }
+  // During the day, B has the lowest share (paper: "lowest weight during
+  // the day").
+  const auto day = DiurnalClassMix(14.0 * kHour);
+  for (size_t c = 0; c < kTraceClasses; ++c) {
+    if (c != 1) {
+      EXPECT_LT(day[1], day[c]);
+    }
+  }
+}
+
+TEST(TraceTest, SampleDayDeterministic) {
+  const auto a = SampleDay(11);
+  const auto b = SampleDay(11);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.size(), 144u);  // 24h in 10-minute buckets.
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].requests_per_10min, b[i].requests_per_10min);
+  }
+}
+
+TEST(TraceTest, QueriesMatchSchema) {
+  const engine::Catalog catalog = TraceCatalog();
+  const auto queries = TraceQueries();
+  ASSERT_EQ(queries.size(), kTraceClasses);
+  for (const auto& q : queries) {
+    for (const auto& access : q.accesses) {
+      EXPECT_TRUE(catalog.HasTable(access.table))
+          << q.text << " -> " << access.table;
+    }
+  }
+  // Exactly one update class (session logging).
+  size_t updates = 0;
+  for (const auto& q : queries) {
+    if (q.is_update) ++updates;
+  }
+  EXPECT_EQ(updates, 1u);
+}
+
+TEST(TraceTest, JournalIsTimestampedAndDiurnal) {
+  const QueryJournal journal = TraceJournal(20000, 5);
+  double begin = 0, end = 0;
+  ASSERT_TRUE(journal.TimeRange(&begin, &end));
+  EXPECT_GE(begin, 0.0);
+  EXPECT_LT(end, 86400.0);
+  EXPECT_NEAR(static_cast<double>(journal.TotalExecutions()), 20000.0, 400.0);
+  // Night slice is much quieter than the evening slice.
+  const auto night = journal.Slice(3.0 * kHour, 6.0 * kHour);
+  const auto evening = journal.Slice(17.0 * kHour, 20.0 * kHour);
+  EXPECT_GT(evening.TotalExecutions(), 3 * night.TotalExecutions());
+}
+
+TEST(TraceTest, JournalClassifies) {
+  const engine::Catalog catalog = TraceCatalog();
+  const QueryJournal journal = TraceJournal(10000, 5);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(journal);
+  ASSERT_TRUE(cls.ok()) << cls.status().ToString();
+  EXPECT_EQ(cls->reads.size(), 4u);
+  EXPECT_EQ(cls->updates.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qcap

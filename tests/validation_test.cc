@@ -1,0 +1,163 @@
+#include "model/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace qcap {
+namespace {
+
+/// A valid two-backend allocation of the Appendix A classification:
+/// B1 = {A,B} with Q1,Q2,Q4,U1,U2; B2 = {C} with Q3,U3.
+Allocation ValidTwoBackend(const Classification& cls) {
+  Allocation a(2, cls.catalog.size(), cls.reads.size(), cls.updates.size());
+  a.PlaceSet(0, {0, 1});
+  a.Place(1, 2);
+  a.set_read_assign(0, 0, 0.24);
+  a.set_read_assign(0, 1, 0.20);
+  a.set_read_assign(0, 3, 0.16);
+  a.set_read_assign(1, 2, 0.20);
+  a.set_update_assign(0, 0, 0.04);
+  a.set_update_assign(0, 1, 0.10);
+  a.set_update_assign(1, 2, 0.06);
+  return a;
+}
+
+TEST(ValidationTest, AcceptsValidAllocation) {
+  const Classification cls = testutil::AppendixAClassification();
+  const Allocation a = ValidTwoBackend(cls);
+  EXPECT_TRUE(
+      ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsDimensionMismatch) {
+  const Classification cls = testutil::AppendixAClassification();
+  const Allocation a = ValidTwoBackend(cls);
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(3)).ok());
+  Allocation wrong(2, 2, cls.reads.size(), cls.updates.size());
+  EXPECT_FALSE(ValidateAllocation(cls, wrong, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsUnderAssignedRead) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a = ValidTwoBackend(cls);
+  a.set_read_assign(0, 0, 0.10);  // Q1 no longer fully assigned.
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsReadAssignedWithoutData) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a = ValidTwoBackend(cls);
+  a.set_read_assign(1, 0, 0.0);
+  a.set_read_assign(0, 0, 0.14);
+  a.set_read_assign(1, 0, 0.10);  // B2 lacks A.
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsNegativeAssignment) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a = ValidTwoBackend(cls);
+  a.set_read_assign(0, 0, 0.30);
+  a.set_read_assign(1, 0, -0.06);
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsUpdateNotPinnedWhereDataLives) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a = ValidTwoBackend(cls);
+  a.set_update_assign(0, 0, 0.0);  // A lives on B1 but U1 not pinned there.
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsUpdateWithWrongWeight) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a = ValidTwoBackend(cls);
+  a.set_update_assign(0, 0, 0.02);  // Must be exactly weight(U1)=0.04.
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsUpdateAssignedWithoutOverlap) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a = ValidTwoBackend(cls);
+  a.set_update_assign(1, 0, 0.04);  // B2 has no fragment of U1.
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsPartialUpdateData) {
+  // A backend storing only part of an update class's data violates ROWA.
+  Classification cls;
+  EXPECT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 0.5, 1.0, false, "Q1", {}},
+               QueryClass{{1}, 0.3, 1.0, false, "Q2", {}}};
+  cls.updates = {QueryClass{{0, 1}, 0.2, 1.0, true, "U1", {}}};
+  Allocation a(2, 2, 2, 1);
+  a.Place(0, 0);  // Only A on B1, but U1 references A and B.
+  a.PlaceSet(1, {0, 1});
+  a.set_read_assign(0, 0, 0.5);
+  a.set_read_assign(1, 1, 0.3);
+  a.set_update_assign(0, 0, 0.2);
+  a.set_update_assign(1, 0, 0.2);
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(2)).ok());
+}
+
+TEST(ValidationTest, RejectsMissingFragment) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a = ValidTwoBackend(cls);
+  // Rebuild without placing C anywhere: read/update for C unassigned too.
+  Allocation b(2, 3, 4, 3);
+  b.PlaceSet(0, {0, 1});
+  b.set_read_assign(0, 0, 0.24);
+  b.set_read_assign(0, 1, 0.20);
+  b.set_read_assign(0, 3, 0.16);
+  b.set_update_assign(0, 0, 0.04);
+  b.set_update_assign(0, 1, 0.10);
+  // Q3/U3 not assigned and C not placed.
+  Status st = ValidateAllocation(cls, b, HomogeneousBackends(2));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ValidationTest, CompletenessCheckCanBeDisabled) {
+  Classification cls;
+  EXPECT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  EXPECT_TRUE(cls.catalog.Add("orphan", "O", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 1.0, 1.0, false, "Q1", {}}};
+  Allocation a(1, 2, 1, 0);
+  a.Place(0, 0);
+  a.set_read_assign(0, 0, 1.0);
+  ValidationOptions strict;
+  EXPECT_FALSE(ValidateAllocation(cls, a, HomogeneousBackends(1), strict).ok());
+  ValidationOptions lax;
+  lax.require_complete_data = false;
+  EXPECT_TRUE(ValidateAllocation(cls, a, HomogeneousBackends(1), lax).ok());
+}
+
+TEST(ValidationTest, KSafetyRequiresReplicas) {
+  const Classification cls = testutil::AppendixAClassification();
+  const Allocation a = ValidTwoBackend(cls);
+  ValidationOptions opts;
+  opts.k_safety = 1;  // Each class on >= 2 backends: not satisfied here.
+  EXPECT_FALSE(
+      ValidateAllocation(cls, a, HomogeneousBackends(2), opts).ok());
+}
+
+TEST(ValidationTest, KSafetySatisfiedByFullReplication) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation a(3, 3, 4, 3);
+  for (size_t b = 0; b < 3; ++b) {
+    a.PlaceSet(b, {0, 1, 2});
+    for (size_t u = 0; u < 3; ++u) {
+      a.set_update_assign(b, u, cls.updates[u].weight);
+    }
+  }
+  for (size_t r = 0; r < 4; ++r) {
+    a.set_read_assign(0, r, cls.reads[r].weight);
+  }
+  ValidationOptions opts;
+  opts.k_safety = 2;
+  EXPECT_TRUE(
+      ValidateAllocation(cls, a, HomogeneousBackends(3), opts).ok());
+}
+
+}  // namespace
+}  // namespace qcap
