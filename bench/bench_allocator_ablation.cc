@@ -13,6 +13,7 @@
 #include "alloc/memetic.h"
 #include "alloc/optimal.h"
 #include "bench_util.h"
+#include "cluster/stats.h"
 #include "workloads/journal_synth.h"
 #include "workloads/tpcapp.h"
 #include "workloads/tpch.h"
@@ -96,6 +97,67 @@ void MemeticConvergence() {
       "iteration budget for deterministic runtimes.\n");
 }
 
+/// Island-model ablation: how subpopulation count and migration shape the
+/// search result at a fixed evaluation budget, and thread-count parity
+/// (the determinism contract: same {seed, num_islands} => same solution).
+void IslandAblation() {
+  const engine::Catalog catalog = workloads::TpcAppCatalog(300.0);
+  const QueryJournal journal = workloads::TpcAppJournal(200000);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  Classification cls = ValueOrDie(classifier.Classify(journal), "classify");
+  const auto backends = HomogeneousBackends(10);
+  GreedyAllocator greedy;
+  Allocation seed = ValueOrDie(greedy.Allocate(cls, backends), "seed");
+  const double total_bytes = cls.catalog.TotalBytes();
+
+  PrintHeader("island ablation (TPC-App, 10 backends, fixed budget)",
+              {"islands", "migration", "scale", "stored-frac", "evals"}, 14);
+  for (size_t islands : {1, 2, 4, 8}) {
+    for (size_t interval : {size_t{0}, size_t{10}}) {
+      if (islands == 1 && interval != 0) continue;  // No one to migrate to.
+      SearchProgress progress;
+      MemeticOptions opts;
+      opts.population_size = 24;  // Total budget, split over the islands.
+      opts.iterations = 60;
+      opts.migration_interval = interval;
+      opts.num_islands = islands;
+      opts.seed = 9;
+      opts.progress = &progress;
+      MemeticAllocator memetic(opts);
+      Allocation improved =
+          ValueOrDie(memetic.Improve(cls, backends, seed), "improve");
+      double stored = 0.0;
+      for (size_t b = 0; b < backends.size(); ++b) {
+        stored += improved.BackendBytes(b, cls.catalog);
+      }
+      PrintRow({std::to_string(islands),
+                interval == 0 ? "off" : std::to_string(interval),
+                Fmt(Scale(improved, backends), 3), Fmt(stored / total_bytes, 2),
+                std::to_string(progress.evaluations.load())},
+               14);
+    }
+  }
+
+  // Thread parity: same {seed, num_islands} at 1 vs 4 threads.
+  MemeticOptions opts;
+  opts.population_size = 24;
+  opts.iterations = 30;
+  opts.num_islands = 4;
+  opts.migration_interval = 10;
+  opts.seed = 9;
+  opts.threads = 1;
+  Allocation serial = ValueOrDie(
+      MemeticAllocator(opts).Improve(cls, backends, seed), "serial");
+  opts.threads = 4;
+  Allocation parallel = ValueOrDie(
+      MemeticAllocator(opts).Improve(cls, backends, seed), "parallel");
+  std::printf(
+      "thread parity: scale(1 thread)=%s scale(4 threads)=%s -- identical "
+      "by the island determinism contract.\n",
+      Fmt(Scale(serial, backends), 6).c_str(),
+      Fmt(Scale(parallel, backends), 6).c_str());
+}
+
 void CachePenaltyAblation() {
   const engine::Catalog catalog = workloads::TpchCatalog(1.0);
   const QueryJournal journal = workloads::TpchJournal(10000);
@@ -131,6 +193,7 @@ int main() {
   std::printf("E20: allocator quality + cost model ablations\n");
   qcap::bench::QualityAblation();
   qcap::bench::MemeticConvergence();
+  qcap::bench::IslandAblation();
   qcap::bench::CachePenaltyAblation();
   return 0;
 }

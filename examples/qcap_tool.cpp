@@ -5,11 +5,18 @@
 //     --granularity G      table | column | hybrid | horizontal (default table)
 //     --partitions P       horizontal partition count (default 4)
 //     --allocator A        greedy | memetic | full | ksafe1 (default memetic)
+//     --threads T          memetic search threads; 0 = all cores (default 1)
+//     --islands N          memetic island count (default 4)
+//     --migration M        generations between island migrations (default 15)
 //     --json               emit JSON instead of the text report
+//
+// The memetic allocator is deterministic for a fixed (--islands, seed)
+// regardless of --threads, so --threads only changes the wall-clock.
 //
 // Schema files use the engine/schema_io.h format; journal files use the
 // workload/journal_io.h format (SaveJournal). Example inputs can be
 // produced with examples/sql_workload.
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -26,6 +33,14 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+bool IsUnsignedInt(const char* s) {
+  if (*s == '\0') return false;
+  for (; *s; ++s) {
+    if (!std::isdigit(static_cast<unsigned char>(*s))) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -34,7 +49,8 @@ int main(int argc, char** argv) {
                  "usage: qcap_tool <schema-file> <journal-file> "
                  "[--backends N] [--granularity table|column|hybrid|"
                  "horizontal] [--partitions P] "
-                 "[--allocator greedy|memetic|full|ksafe1] [--json]\n");
+                 "[--allocator greedy|memetic|full|ksafe1] "
+                 "[--threads T] [--islands N] [--migration M] [--json]\n");
     return 2;
   }
   const std::string schema_path = argv[1];
@@ -42,6 +58,7 @@ int main(int argc, char** argv) {
   size_t backends_n = 4;
   ClassifierOptions copts;
   std::string allocator_name = "memetic";
+  MemeticOptions mopts;
   bool emit_json = false;
 
   for (int i = 3; i < argc; ++i) {
@@ -75,6 +92,19 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Fail("--allocator needs a value");
       allocator_name = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      // 0 is valid (= auto), so atoi alone can't reject garbage input here.
+      if (!v || !IsUnsignedInt(v)) return Fail("--threads needs a count");
+      mopts.threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--islands") {
+      const char* v = next();
+      if (!v || std::atoi(v) <= 0) return Fail("--islands needs a count");
+      mopts.num_islands = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--migration") {
+      const char* v = next();
+      if (!v || !IsUnsignedInt(v)) return Fail("--migration needs a count");
+      mopts.migration_interval = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--json") {
       emit_json = true;
     } else {
@@ -91,7 +121,7 @@ int main(int argc, char** argv) {
   if (allocator_name == "greedy") {
     allocator = std::make_unique<GreedyAllocator>();
   } else if (allocator_name == "memetic") {
-    allocator = std::make_unique<MemeticAllocator>();
+    allocator = std::make_unique<MemeticAllocator>(mopts);
   } else if (allocator_name == "full") {
     allocator = std::make_unique<FullReplicationAllocator>();
   } else if (allocator_name == "ksafe1") {

@@ -1,24 +1,39 @@
 #include "alloc/advisor.h"
 
+#include <optional>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "model/metrics.h"
 #include "model/validation.h"
 
 namespace qcap {
 
+PartitioningAdvisor::PartitioningAdvisor(const engine::Catalog& catalog,
+                                         Allocator* allocator,
+                                         AdvisorOptions options)
+    : catalog_(catalog), allocator_(allocator), options_(std::move(options)) {
+  if (allocator_ == nullptr) {
+    owned_allocator_ = std::make_unique<MemeticAllocator>(options_.memetic);
+    allocator_ = owned_allocator_.get();
+  }
+}
+
 Result<AdvisorChoice> PartitioningAdvisor::Advise(
     const QueryJournal& journal,
     const std::vector<BackendSpec>& backends) const {
-  if (allocator_ == nullptr) {
-    return Status::InvalidArgument("allocator must not be null");
-  }
   if (options_.candidates.empty()) {
     return Status::InvalidArgument("no candidate granularities");
   }
 
-  AdvisorChoice choice;
-  Status last_error = Status::OK();
-  for (Granularity granularity : options_.candidates) {
+  // Each candidate is classified, allocated, and validated independently;
+  // results land in the candidate's own slot, so evaluating them on the
+  // pool changes nothing about the outcome.
+  const size_t n = options_.candidates.size();
+  std::vector<std::optional<AdvisorCandidate>> slots(n);
+  std::vector<Status> errors(n, Status::OK());
+  ParallelFor(options_.pool, n, [&](size_t i) {
+    const Granularity granularity = options_.candidates[i];
     ClassifierOptions copts;
     copts.granularity = granularity;
     copts.horizontal_partitions = options_.horizontal_partitions;
@@ -29,20 +44,20 @@ Result<AdvisorChoice> PartitioningAdvisor::Advise(
 
     auto cls = classifier.Classify(journal);
     if (!cls.ok()) {
-      last_error = cls.status();
+      errors[i] = cls.status();
       QCAP_LOG(Debug) << "advisor: classification failed: "
-                      << last_error.ToString();
-      continue;
+                      << errors[i].ToString();
+      return;
     }
     auto alloc = allocator_->Allocate(cls.value(), backends);
     if (!alloc.ok()) {
-      last_error = alloc.status();
-      continue;
+      errors[i] = alloc.status();
+      return;
     }
     if (Status valid = ValidateAllocation(cls.value(), alloc.value(), backends);
         !valid.ok()) {
-      last_error = valid;
-      continue;
+      errors[i] = valid;
+      return;
     }
 
     AdvisorCandidate candidate;
@@ -52,7 +67,17 @@ Result<AdvisorChoice> PartitioningAdvisor::Advise(
         DegreeOfReplication(alloc.value(), cls->catalog);
     candidate.classification = std::move(cls).value();
     candidate.allocation = std::move(alloc).value();
-    choice.evaluated.push_back(std::move(candidate));
+    slots[i] = std::move(candidate);
+  });
+
+  AdvisorChoice choice;
+  Status last_error = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    if (slots[i].has_value()) {
+      choice.evaluated.push_back(std::move(*slots[i]));
+    } else {
+      last_error = errors[i];
+    }
   }
   if (choice.evaluated.empty()) {
     return Status::Internal("no candidate granularity produced a valid "

@@ -8,13 +8,17 @@
 // minimize storage.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "alloc/memetic.h"
 #include "engine/catalog.h"
 #include "workload/classifier.h"
 
 namespace qcap {
+
+class ThreadPool;  // common/thread_pool.h
 
 /// Options for the advisor.
 struct AdvisorOptions {
@@ -29,6 +33,16 @@ struct AdvisorOptions {
   /// Candidates within this relative speedup of the best are considered
   /// throughput ties; the one with the least storage wins among them.
   double speedup_tolerance = 0.02;
+  /// Configuration for the advisor-owned memetic allocator, used when the
+  /// advisor is constructed without an external allocator. Its
+  /// islands/threads knobs make the default advisor path parallel.
+  MemeticOptions memetic;
+  /// Optional pool: candidate granularities are classified and allocated
+  /// concurrently on it. Requires an allocator whose Allocate() is safe to
+  /// call from several threads at once (every allocator in this repo except
+  /// OptimalAllocator, which caches last_scale()). The chosen candidate is
+  /// the same with or without a pool. Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// One evaluated candidate.
@@ -49,10 +63,11 @@ struct AdvisorChoice {
 /// \brief Evaluates candidate granularities and picks the winner.
 class PartitioningAdvisor {
  public:
-  /// \p allocator computes the allocation for every candidate.
+  /// \p allocator computes the allocation for every candidate. Pass
+  /// nullptr to let the advisor own a MemeticAllocator configured from
+  /// \ref AdvisorOptions::memetic.
   PartitioningAdvisor(const engine::Catalog& catalog, Allocator* allocator,
-                      AdvisorOptions options = {})
-      : catalog_(catalog), allocator_(allocator), options_(std::move(options)) {}
+                      AdvisorOptions options = {});
 
   /// Classifies \p journal at each candidate granularity, allocates onto
   /// \p backends, validates, and returns the best valid candidate.
@@ -64,6 +79,9 @@ class PartitioningAdvisor {
   const engine::Catalog& catalog_;
   Allocator* allocator_;
   AdvisorOptions options_;
+  /// Backing storage for the default (memetic) allocator when the caller
+  /// passed allocator == nullptr.
+  std::unique_ptr<MemeticAllocator> owned_allocator_;
 };
 
 }  // namespace qcap

@@ -21,10 +21,20 @@ struct GreedyOptions {
 };
 
 /// \brief Algorithm 1: polynomial-time first-fit allocation.
+///
+/// Reproduces the paper's greedy trace exactly (the Appendix A worked
+/// example is a unit test): classes are placed heaviest-first by
+/// weight × data size, each onto the backend where it adds the fewest new
+/// bytes among those with spare scaled capacity (Eq. 15/16), updates are
+/// pinned per ROWA (Eq. 10), and capacity is relaxed only when every
+/// backend is saturated.
 class GreedyAllocator : public Allocator {
  public:
   explicit GreedyAllocator(GreedyOptions options = {}) : options_(options) {}
 
+  /// Runs Algorithm 1 on \p cls over \p backends.
+  /// \returns an allocation satisfying the validity constraints
+  /// (Eq. 8-11), or a Status describing the infeasibility.
   Result<Allocation> Allocate(const Classification& cls,
                               const std::vector<BackendSpec>& backends) override;
   std::string name() const override { return "greedy"; }

@@ -18,11 +18,21 @@ struct KSafetyOptions {
 };
 
 /// \brief Algorithm 4: greedy allocation with k+1-fold class replication.
+///
+/// Extends Algorithm 1 so the k-safe validity constraints (Eq. 46/47)
+/// hold: each read class is spread over at least k+1 backends (its weight
+/// split between them) and consequently every fragment has at least k+1
+/// replicas. The paper's Algorithm 3 (checking k-safety of an existing
+/// allocation) lives in model/validation.h.
 class KSafeGreedyAllocator : public Allocator {
  public:
   explicit KSafeGreedyAllocator(KSafetyOptions options = {})
       : options_(options) {}
 
+  /// Runs Algorithm 4 on \p cls over \p backends.
+  /// \returns an allocation that survives any \ref KSafetyOptions::k
+  /// simultaneous backend failures, or a Status (e.g. fewer than k+1
+  /// backends).
   Result<Allocation> Allocate(const Classification& cls,
                               const std::vector<BackendSpec>& backends) override;
   std::string name() const override {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "alloc/greedy.h"
+#include "cluster/stats.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "model/metrics.h"
 
 namespace qcap {
@@ -23,18 +26,36 @@ struct Cost {
   }
 };
 
+struct Member {
+  Allocation alloc;
+  Cost cost;
+};
+
+/// One island: an independent subpopulation with its own RNG stream
+/// (`opts.seed + island_id`). All mutation/selection state is confined to
+/// the island, so islands can evolve on different pool workers without
+/// synchronization; they interact only at the serial migration barrier run
+/// by the coordinator between epochs.
 class Evolver {
  public:
   Evolver(const Classification& cls, const std::vector<BackendSpec>& backends,
-          const MemeticOptions& opts)
-      : cls_(cls), backends_(backends), opts_(opts), rng_(opts.seed) {}
+          const MemeticOptions& opts, uint64_t island_id)
+      : cls_(cls),
+        backends_(backends),
+        opts_(opts),
+        rng_(opts.seed + island_id) {}
 
   Cost Evaluate(const Allocation& a) const {
+    if (opts_.progress != nullptr) {
+      opts_.progress->evaluations.fetch_add(1, std::memory_order_relaxed);
+    }
     double stored = 0.0;
     for (size_t b = 0; b < a.num_backends(); ++b) {
       stored += a.BackendBytes(b, cls_.catalog);
     }
-    return Cost{Scale(a, backends_), stored};
+    Cost cost{Scale(a, backends_), stored};
+    if (opts_.progress != nullptr) opts_.progress->RecordScale(cost.scale);
+    return cost;
   }
 
   /// Drops every fragment a backend no longer needs for its assigned read
@@ -63,13 +84,8 @@ class Evolver {
           }
         }
       }
-      // Rebuild the backend's placement and update pinning.
-      for (FragmentId f = 0; f < a->num_fragments(); ++f) {
-        if (a->IsPlaced(b, f) && !Contains(needed, f)) {
-          // Allocation has no "unplace"; rebuild below instead.
-        }
-      }
-      // Rebuild by constructing a fresh row.
+      // Allocation exposes no per-fragment removal, so the shrink happens
+      // by rebuilding this backend's whole row from `needed`.
       RebuildBackendRow(a, b, needed, keep_update);
     }
     alloc_internal::PlaceOrphanFragments(cls_, a);
@@ -132,6 +148,7 @@ class Evolver {
             GarbageCollect(&trial);
             if (Evaluate(trial).Better(before)) {
               *a = std::move(trial);
+              RecordImprovement();
               return true;
             }
           }
@@ -173,6 +190,7 @@ class Evolver {
           GarbageCollect(&trial);
           if (Evaluate(trial).Better(before)) {
             *a = std::move(trial);
+            RecordImprovement();
             return true;
           }
         }
@@ -188,57 +206,67 @@ class Evolver {
     }
   }
 
-  Allocation Run(const Allocation& seed) {
-    struct Member {
-      Allocation alloc;
-      Cost cost;
-    };
-    auto make_member = [&](Allocation a) {
-      Cost c = Evaluate(a);
-      return Member{std::move(a), c};
-    };
-    auto by_cost = [](const Member& x, const Member& y) {
-      return x.cost.Better(y.cost);
-    };
-
-    std::vector<Member> population;
-    population.push_back(make_member(seed));
-
-    const size_t p = std::max<size_t>(3, opts_.population_size);
-    for (size_t iter = 0; iter < opts_.iterations; ++iter) {
-      // Offspring: p mutations of random parents.
+  /// Evolves the island's population for \p generations. Mutation and
+  /// selection draw from the island RNG on the calling thread; only the
+  /// (pure) offspring evaluations fan out over \p pool, writing each cost
+  /// to its own slot, so the outcome is independent of the thread count.
+  void EvolveGenerations(std::vector<Member>* population, size_t generations,
+                         size_t island_population, ThreadPool* pool) {
+    const size_t p = std::max<size_t>(3, island_population);
+    for (size_t iter = 0; iter < generations; ++iter) {
+      // Offspring: p mutations of random parents (serial: RNG), then a
+      // parallel evaluation of the batch.
+      std::vector<Allocation> kids;
+      kids.reserve(p);
+      for (size_t i = 0; i < p; ++i) {
+        const Member& parent =
+            (*population)[rng_.NextBounded(population->size())];
+        kids.push_back(Mutate(parent.alloc));
+      }
+      std::vector<Cost> costs(p);
+      ParallelFor(pool, p,
+                  [&](size_t i) { costs[i] = Evaluate(kids[i]); });
       std::vector<Member> offspring;
       offspring.reserve(p);
       for (size_t i = 0; i < p; ++i) {
-        const Member& parent = population[rng_.NextBounded(population.size())];
-        offspring.push_back(make_member(Mutate(parent.alloc)));
+        offspring.push_back(Member{std::move(kids[i]), costs[i]});
       }
       // (λ+µ) selection: best 2/3 of parents + best 1/3 of offspring.
-      std::sort(population.begin(), population.end(), by_cost);
+      auto by_cost = [](const Member& x, const Member& y) {
+        return x.cost.Better(y.cost);
+      };
+      std::sort(population->begin(), population->end(), by_cost);
       std::sort(offspring.begin(), offspring.end(), by_cost);
       std::vector<Member> next;
-      const size_t keep_parents = std::min(population.size(), 2 * p / 3);
+      const size_t keep_parents = std::min(population->size(), 2 * p / 3);
       const size_t keep_children = std::min(offspring.size(), p - keep_parents);
       for (size_t i = 0; i < keep_parents; ++i) {
-        next.push_back(std::move(population[i]));
+        next.push_back(std::move((*population)[i]));
       }
       for (size_t i = 0; i < keep_children; ++i) {
         next.push_back(std::move(offspring[i]));
       }
-      population = std::move(next);
+      *population = std::move(next);
       // Memetic step: locally improve a random third of the population.
-      const size_t improve_count = std::max<size_t>(1, population.size() / 3);
+      const size_t improve_count = std::max<size_t>(1, population->size() / 3);
       for (size_t i = 0; i < improve_count; ++i) {
-        Member& m = population[rng_.NextBounded(population.size())];
+        Member& m = (*population)[rng_.NextBounded(population->size())];
         LocalImprove(&m.alloc);
         m.cost = Evaluate(m.alloc);
       }
+      if (opts_.progress != nullptr) {
+        opts_.progress->generations.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    auto best = std::min_element(population.begin(), population.end(), by_cost);
-    return std::move(best->alloc);
   }
 
  private:
+  void RecordImprovement() const {
+    if (opts_.progress != nullptr) {
+      opts_.progress->improvements.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   void RebuildBackendRow(Allocation* a, size_t b, const FragmentSet& needed,
                          const std::vector<bool>& keep_update) const {
     // Allocation exposes no removal, so rebuild the whole structure with
@@ -274,6 +302,93 @@ class Evolver {
   Rng rng_;
 };
 
+/// Coordinates the islands: epochs of independent evolution (parallel over
+/// the pool) separated by serial ring migrations of each island's best
+/// member. All cross-island decisions happen here, on one thread, from
+/// fully evolved island states — thread count never changes the result.
+class IslandModel {
+ public:
+  IslandModel(const Classification& cls,
+              const std::vector<BackendSpec>& backends,
+              const MemeticOptions& opts)
+      : opts_(opts) {
+    const size_t n = std::max<size_t>(1, opts.num_islands);
+    island_population_ =
+        std::max<size_t>(3, opts.population_size / n);
+    evolvers_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      evolvers_.push_back(
+          std::make_unique<Evolver>(cls, backends, opts, /*island_id=*/i));
+    }
+    populations_.resize(n);
+  }
+
+  Allocation Run(const Allocation& seed, ThreadPool* pool) {
+    const size_t n = evolvers_.size();
+    for (size_t i = 0; i < n; ++i) {
+      populations_[i].push_back(
+          Member{seed, evolvers_[i]->Evaluate(seed)});
+    }
+    const size_t epoch = opts_.migration_interval == 0
+                             ? opts_.iterations
+                             : opts_.migration_interval;
+    size_t remaining = opts_.iterations;
+    while (remaining > 0) {
+      const size_t generations = std::min(epoch == 0 ? remaining : epoch,
+                                          remaining);
+      ParallelFor(pool, n, [&](size_t i) {
+        evolvers_[i]->EvolveGenerations(&populations_[i], generations,
+                                        island_population_, pool);
+      });
+      remaining -= generations;
+      if (remaining > 0 && n > 1) Migrate();
+    }
+    // Winner: scan islands in id order; strict Better keeps ties stable.
+    const Member* best = nullptr;
+    for (const auto& population : populations_) {
+      for (const Member& member : population) {
+        if (best == nullptr || member.cost.Better(best->cost)) {
+          best = &member;
+        }
+      }
+    }
+    return best->alloc;
+  }
+
+ private:
+  static bool ByCost(const Member& x, const Member& y) {
+    return x.cost.Better(y.cost);
+  }
+
+  /// Ring migration: island i's best member immigrates into island
+  /// (i+1) % n, replacing that island's worst member if it improves on it.
+  /// Emigrants are snapshotted first so the outcome is order-independent.
+  void Migrate() {
+    const size_t n = populations_.size();
+    std::vector<Member> emigrants;
+    emigrants.reserve(n);
+    for (const auto& population : populations_) {
+      emigrants.push_back(
+          *std::min_element(population.begin(), population.end(), ByCost));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      auto& target = populations_[(i + 1) % n];
+      auto worst = std::max_element(target.begin(), target.end(), ByCost);
+      if (emigrants[i].cost.Better(worst->cost)) {
+        *worst = emigrants[i];
+        if (opts_.progress != nullptr) {
+          opts_.progress->migrations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  const MemeticOptions& opts_;
+  size_t island_population_ = 3;
+  std::vector<std::unique_ptr<Evolver>> evolvers_;
+  std::vector<std::vector<Member>> populations_;
+};
+
 }  // namespace
 
 Result<Allocation> MemeticAllocator::Allocate(
@@ -288,8 +403,18 @@ Result<Allocation> MemeticAllocator::Improve(
     const Allocation& seed_allocation) {
   QCAP_RETURN_NOT_OK(ValidateBackends(backends));
   QCAP_RETURN_NOT_OK(cls.Validate());
-  Evolver evolver(cls, backends, options_);
-  return evolver.Run(seed_allocation);
+  ThreadPool* pool = options_.pool;
+  std::unique_ptr<ThreadPool> owned;
+  if (pool == nullptr) {
+    const size_t threads = options_.threads == 0 ? ThreadPool::DefaultThreads()
+                                                 : options_.threads;
+    if (threads > 1) {
+      owned = std::make_unique<ThreadPool>(threads);
+      pool = owned.get();
+    }
+  }
+  IslandModel model(cls, backends, options_);
+  return model.Run(seed_allocation, pool);
 }
 
 }  // namespace qcap

@@ -31,11 +31,24 @@ struct OptimalOptions {
 };
 
 /// \brief Appendix B: throughput- then storage-optimal allocation.
+///
+/// Solves the paper's exact integer program (placement variables A,
+/// assignment matrices LQ/LU, validity constraints Eq. 8-11) with the
+/// in-repo branch-and-bound MILP. Stage 1 minimizes the scale factor
+/// (Eq. 15); stage 2 re-solves with scale fixed at the stage-1 optimum
+/// (plus \ref OptimalOptions::scale_slack) minimizing stored bytes —
+/// the benchmark the heuristics are measured against in Fig. 4(c).
+///
+/// \warning Allocate() caches last_scale(); unlike the other allocators
+/// it is not safe to call concurrently from several threads.
 class OptimalAllocator : public Allocator {
  public:
   explicit OptimalAllocator(OptimalOptions options = {})
       : options_(std::move(options)) {}
 
+  /// Solves the two-stage ILP for \p cls over \p backends.
+  /// \returns the provably optimal allocation, or a Status when the MILP
+  /// node budget (\ref MilpOptions::max_nodes) is exhausted first.
   Result<Allocation> Allocate(const Classification& cls,
                               const std::vector<BackendSpec>& backends) override;
   std::string name() const override { return "optimal"; }

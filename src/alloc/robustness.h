@@ -18,15 +18,17 @@
 
 namespace qcap {
 
-/// Re-solves the read-load distribution over a *fixed* placement with the
-/// exact LP (minimize scale subject to Eq. 9/10), i.e. the best the
-/// scheduler could do by shifting weights between replicas. Update pinning
-/// is kept as-is.
+/// \brief Re-solves the read-load distribution over a *fixed* placement
+/// with the exact LP (minimize scale, Eq. 15, subject to Eq. 9/10), i.e.
+/// the best the scheduler could do by shifting weights between replicas.
+/// Update pinning is kept as-is.
+/// \returns the rebalanced allocation (same placement matrix as
+/// \p placement, new read-assign matrix).
 Result<Allocation> RebalanceReads(const Classification& cls,
                                   const Allocation& placement,
                                   const std::vector<BackendSpec>& backends);
 
-/// Speedup after read class \p read_index changes weight to \p new_weight
+/// \brief Speedup (Eq. 17-19) after read class \p read_index changes weight to \p new_weight
 /// (other classes keep theirs; weights are not re-normalized, matching the
 /// paper's example arithmetic).
 /// With \p allow_shift false, each backend keeps its assigned share of the
@@ -38,7 +40,7 @@ Result<double> PerturbedSpeedup(const Classification& cls,
                                 size_t read_index, double new_weight,
                                 bool allow_shift);
 
-/// Maximum additional weight of read class \p read_index (absolute, on top
+/// \brief Maximum additional weight of read class \p read_index (absolute, on top
 /// of its current weight) that optimal shifting over the current placement
 /// absorbs without increasing the allocation's scale beyond
 /// max(current scale, 1) + epsilon.
@@ -56,10 +58,13 @@ struct RobustnessOptions {
   size_t max_added_replicas = 64;
 };
 
-/// Adds zero-weight replicas (fragments + pinned updates, no read load) of
-/// read classes whose tolerance is below the requirement, placing each on
-/// the least-loaded backend not yet holding the class, until every class
-/// meets the requirement or no placement can improve it.
+/// \brief Adds zero-weight replicas (fragments + pinned updates, no read
+/// load) of read classes whose tolerance is below the requirement, placing
+/// each on the least-loaded backend not yet holding the class, until every
+/// class meets the requirement or no placement can improve it — the
+/// paper's Section 5 recipe for buying robustness with storage.
+/// \returns the padded allocation; its scale never regresses because the
+/// added replicas carry no load.
 Result<Allocation> AddRobustnessHeadroom(const Classification& cls,
                                          const Allocation& alloc,
                                          const std::vector<BackendSpec>& backends,

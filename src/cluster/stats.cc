@@ -1,11 +1,52 @@
 #include "cluster/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/strings.h"
 
 namespace qcap {
+
+SearchProgress::SearchProgress()
+    : best_scale_bits(
+          std::bit_cast<uint64_t>(std::numeric_limits<double>::infinity())) {}
+
+void SearchProgress::RecordScale(double scale) {
+  const uint64_t bits = std::bit_cast<uint64_t>(scale);
+  uint64_t current = best_scale_bits.load(std::memory_order_relaxed);
+  // Positive doubles compare the same as their bit patterns, so a CAS loop
+  // on the raw bits implements an atomic min.
+  while (scale < std::bit_cast<double>(current) &&
+         !best_scale_bits.compare_exchange_weak(current, bits,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+double SearchProgress::best_scale() const {
+  return std::bit_cast<double>(best_scale_bits.load(std::memory_order_relaxed));
+}
+
+void SearchProgress::Reset() {
+  generations.store(0, std::memory_order_relaxed);
+  evaluations.store(0, std::memory_order_relaxed);
+  improvements.store(0, std::memory_order_relaxed);
+  migrations.store(0, std::memory_order_relaxed);
+  best_scale_bits.store(
+      std::bit_cast<uint64_t>(std::numeric_limits<double>::infinity()),
+      std::memory_order_relaxed);
+}
+
+std::string SearchProgress::ToString() const {
+  const double scale = best_scale();
+  return "generations=" + std::to_string(generations.load()) +
+         ", evaluations=" + std::to_string(evaluations.load()) +
+         ", improvements=" + std::to_string(improvements.load()) +
+         ", migrations=" + std::to_string(migrations.load()) +
+         ", best_scale=" +
+         (std::isinf(scale) ? std::string("inf") : FormatDouble(scale, 4));
+}
 
 double SimStats::BusyBalanceDeviation(
     const std::vector<double>& relative_loads) const {

@@ -1,6 +1,9 @@
-// Simulation statistics: throughput, latency, and per-backend utilization.
+// Simulation and search statistics: throughput, latency, per-backend
+// utilization, and live progress counters for long-running allocation
+// searches.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,6 +39,39 @@ struct SimStats {
   double BusyBalanceDeviation(const std::vector<double>& relative_loads) const;
 
   /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe progress counters for a running allocation search.
+///
+/// The island-model memetic allocator (alloc/memetic.h) updates these from
+/// its worker threads (relaxed atomics — counters, not synchronization);
+/// an operator thread may read a consistent-enough snapshot at any time,
+/// e.g. to drive a progress display while a large search runs.
+struct SearchProgress {
+  /// Generations completed, summed over all islands.
+  std::atomic<uint64_t> generations{0};
+  /// Cost-function evaluations (the search's unit of work).
+  std::atomic<uint64_t> evaluations{0};
+  /// Accepted local-search improvement moves (Eq. 21-26 hits).
+  std::atomic<uint64_t> improvements{0};
+  /// Inter-island best-solution migrations applied.
+  std::atomic<uint64_t> migrations{0};
+  /// Best scale factor seen so far (bit pattern of a double; starts at
+  /// +infinity). Use best_scale()/RecordScale() instead of touching it.
+  std::atomic<uint64_t> best_scale_bits;
+
+  SearchProgress();
+
+  /// Lowers the recorded best scale to \p scale if it improves on it.
+  void RecordScale(double scale);
+  /// Best scale recorded so far (+infinity until the first RecordScale).
+  double best_scale() const;
+
+  /// Resets every counter to its initial state.
+  void Reset();
+
+  /// One-line human-readable snapshot.
   std::string ToString() const;
 };
 

@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+namespace qcap {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the task's future.
+  }
+}
+
+bool ThreadPool::RunOnePending() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  const size_t workers = pool == nullptr ? 0 : pool->size();
+  if (workers == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // One shared cursor; every participating thread (workers + caller) claims
+  // the next unclaimed index until the range is exhausted. shared_ptr keeps
+  // the cursor alive even for tasks that start after the call returns a
+  // rethrown exception path (it cannot — we always join — but cheap safety).
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto drain = [next, n, &body]() {
+    for (size_t i = (*next)++; i < n; i = (*next)++) body(i);
+  };
+
+  const size_t helpers = std::min(workers, n - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t t = 0; t < helpers; ++t) futures.push_back(pool->Submit(drain));
+
+  std::exception_ptr first_error;
+  try {
+    drain();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Wait for every helper, running other queued pool work meanwhile so a
+  // ParallelFor issued from inside a pool task cannot starve itself.
+  for (std::future<void>& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool->RunOnePending()) std::this_thread::yield();
+    }
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace qcap

@@ -1,0 +1,97 @@
+// Shared worker-thread pool and data-parallel loop helper.
+//
+// The pool is the substrate for every parallel search in the library
+// (island-model memetic allocation, parallel advisor candidates). It is
+// deliberately simple: a fixed set of workers draining one FIFO queue.
+// Two properties matter for callers:
+//
+//   1. Exceptions thrown inside a task are captured and rethrown from the
+//      task's future (and from ParallelFor), never swallowed.
+//   2. A thread blocked waiting for pool work may *help* by draining
+//      pending tasks (RunOnePending), so nested ParallelFor calls issued
+//      from inside a pool task cannot deadlock the pool.
+//
+// Parallel callers stay deterministic by construction: work items write to
+// disjoint, pre-sized result slots, and any randomized state is owned by
+// exactly one logical task (see alloc/memetic.h for the contract).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace qcap {
+
+/// \brief Fixed-size worker pool with a FIFO task queue.
+///
+/// Construction spawns the workers; destruction drains nothing — queued
+/// tasks are completed, then the workers join. Submit() may be called from
+/// any thread, including from inside a running task.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers. 0 is allowed and creates an inert pool
+  /// (size() == 0); ParallelFor treats such a pool as "run serially".
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (std::thread reports 0 when it
+  /// cannot tell).
+  static size_t DefaultThreads();
+
+  /// Enqueues \p fn and returns a future for its result. Exceptions thrown
+  /// by \p fn surface from future.get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs one pending task on the calling thread, if any is queued.
+  /// Returns false when the queue was empty. Used by threads that would
+  /// otherwise block on pool work (nested-parallelism deadlock avoidance).
+  bool RunOnePending();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// \brief Runs body(i) for every i in [0, n), distributing indices over
+/// \p pool's workers plus the calling thread.
+///
+/// Serial fallback when \p pool is null, has no workers, or n <= 1.
+/// Indices are claimed dynamically (an atomic cursor), so the mapping of
+/// index to thread is unspecified — callers must keep per-index work
+/// independent (write only to slot i). The call returns only after every
+/// index has run; the first exception thrown by any body invocation is
+/// rethrown on the calling thread.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace qcap

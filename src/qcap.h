@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 #include "engine/catalog.h"
 #include "engine/cost_estimator.h"

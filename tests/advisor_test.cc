@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "alloc/greedy.h"
+#include "common/thread_pool.h"
 #include "workloads/timeseries.h"
 #include "workloads/tpch.h"
 
@@ -63,13 +64,51 @@ TEST(AdvisorTest, SingleCandidateWorks) {
   EXPECT_EQ(choice->evaluated.size(), 1u);
 }
 
+TEST(AdvisorTest, NullAllocatorFallsBackToOwnedMemetic) {
+  // With no external allocator, the advisor runs its own MemeticAllocator
+  // configured from AdvisorOptions::memetic.
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  AdvisorOptions options;
+  options.candidates = {Granularity::kTable};
+  options.memetic.population_size = 9;
+  options.memetic.iterations = 6;
+  PartitioningAdvisor advisor(catalog, nullptr, options);
+  auto choice =
+      advisor.Advise(workloads::TpchJournal(1900), HomogeneousBackends(4));
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  EXPECT_NEAR(choice->best.model_speedup, 4.0, 1e-6);
+}
+
+TEST(AdvisorTest, PoolDoesNotChangeTheChoice) {
+  const engine::Catalog catalog = workloads::TpchCatalog(1.0);
+  GreedyAllocator greedy;
+  PartitioningAdvisor serial_advisor(catalog, &greedy);
+  auto serial = serial_advisor.Advise(workloads::TpchJournal(1900),
+                                      HomogeneousBackends(6));
+  ASSERT_TRUE(serial.ok());
+
+  ThreadPool pool(3);
+  AdvisorOptions options;
+  options.pool = &pool;
+  PartitioningAdvisor parallel_advisor(catalog, &greedy, options);
+  auto parallel = parallel_advisor.Advise(workloads::TpchJournal(1900),
+                                          HomogeneousBackends(6));
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(parallel->best.granularity, serial->best.granularity);
+  EXPECT_DOUBLE_EQ(parallel->best.model_speedup, serial->best.model_speedup);
+  EXPECT_DOUBLE_EQ(parallel->best.degree_of_replication,
+                   serial->best.degree_of_replication);
+  ASSERT_EQ(parallel->evaluated.size(), serial->evaluated.size());
+  for (size_t i = 0; i < serial->evaluated.size(); ++i) {
+    EXPECT_EQ(parallel->evaluated[i].granularity,
+              serial->evaluated[i].granularity);
+  }
+}
+
 TEST(AdvisorTest, RejectsBadInput) {
   const engine::Catalog catalog = workloads::TpchCatalog(1.0);
   GreedyAllocator greedy;
-  PartitioningAdvisor null_advisor(catalog, nullptr);
-  EXPECT_FALSE(null_advisor
-                   .Advise(workloads::TpchJournal(100), HomogeneousBackends(2))
-                   .ok());
   AdvisorOptions empty;
   empty.candidates = {};
   PartitioningAdvisor no_candidates(catalog, &greedy, empty);

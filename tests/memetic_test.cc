@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "alloc/greedy.h"
+#include "cluster/stats.h"
+#include "common/thread_pool.h"
 #include "model/metrics.h"
 #include "model/validation.h"
 #include "test_util.h"
@@ -95,6 +97,127 @@ TEST(MemeticTest, CanReduceReplicationOfPoorSeed) {
   EXPECT_TRUE(ValidateAllocation(cls, improved.value(), backends).ok());
   EXPECT_NEAR(Speedup(improved.value(), backends), 2.0, 1e-9);
   EXPECT_LT(DegreeOfReplication(improved.value(), cls.catalog), 2.0 - 1e-9);
+}
+
+/// Exact equality of every matrix entry — the determinism contract is
+/// bit-identical results, not "close".
+void ExpectIdenticalAllocations(const Allocation& a, const Allocation& b,
+                                const Classification& cls) {
+  ASSERT_EQ(a.num_backends(), b.num_backends());
+  for (size_t backend = 0; backend < a.num_backends(); ++backend) {
+    EXPECT_EQ(a.BackendFragments(backend), b.BackendFragments(backend));
+    for (size_t r = 0; r < cls.reads.size(); ++r) {
+      EXPECT_EQ(a.read_assign(backend, r), b.read_assign(backend, r))
+          << "read class " << r << " on backend " << backend;
+    }
+    for (size_t u = 0; u < cls.updates.size(); ++u) {
+      EXPECT_EQ(a.update_assign(backend, u), b.update_assign(backend, u))
+          << "update class " << u << " on backend " << backend;
+    }
+  }
+}
+
+TEST(MemeticTest, ThreadCountDoesNotChangeTheAllocation) {
+  // Fixed {seed, num_islands}: islands only interact at the serial
+  // migration barrier, so any thread count must give bit-identical results.
+  const auto workload = workloads::MakeRandomWorkload(11);
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto cls = classifier.Classify(workload.journal);
+  ASSERT_TRUE(cls.ok());
+  const auto backends = HomogeneousBackends(4);
+
+  MemeticOptions opts = FastOptions(5);
+  opts.num_islands = 4;
+  opts.migration_interval = 4;  // Several migration rounds in 12 iterations.
+  opts.iterations = 12;
+
+  opts.threads = 1;
+  MemeticAllocator serial(opts);
+  auto serial_result = serial.Allocate(cls.value(), backends);
+  ASSERT_TRUE(serial_result.ok()) << serial_result.status().ToString();
+
+  for (size_t threads : {2, 4}) {
+    opts.threads = threads;
+    MemeticAllocator parallel(opts);
+    auto parallel_result = parallel.Allocate(cls.value(), backends);
+    ASSERT_TRUE(parallel_result.ok()) << parallel_result.status().ToString();
+    ExpectIdenticalAllocations(serial_result.value(), parallel_result.value(),
+                               cls.value());
+  }
+}
+
+TEST(MemeticTest, ExternalPoolMatchesOwnedThreads) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = testutil::AppendixABackends();
+  MemeticOptions opts = FastOptions(21);
+  opts.num_islands = 3;
+  opts.migration_interval = 5;
+
+  opts.threads = 1;
+  MemeticAllocator serial(opts);
+  auto want = serial.Allocate(cls, backends);
+  ASSERT_TRUE(want.ok());
+
+  ThreadPool pool(4);
+  opts.pool = &pool;
+  MemeticAllocator pooled(opts);
+  auto got = pooled.Allocate(cls, backends);
+  ASSERT_TRUE(got.ok());
+  ExpectIdenticalAllocations(want.value(), got.value(), cls);
+}
+
+TEST(MemeticTest, SearchProgressIsPopulated) {
+  const Classification cls = testutil::AppendixAClassification();
+  const auto backends = testutil::AppendixABackends();
+  SearchProgress progress;
+  MemeticOptions opts = FastOptions(3);
+  opts.num_islands = 2;
+  opts.migration_interval = 4;
+  opts.threads = 2;
+  opts.progress = &progress;
+  MemeticAllocator memetic(opts);
+  auto result = memetic.Allocate(cls, backends);
+  ASSERT_TRUE(result.ok());
+
+  // Every island runs every generation.
+  EXPECT_EQ(progress.generations.load(), opts.iterations * opts.num_islands);
+  EXPECT_GT(progress.evaluations.load(), progress.generations.load());
+  // The best of the population always survives selection, local search only
+  // improves, and migration only replaces worst members — so the best scale
+  // ever evaluated is the returned allocation's scale.
+  EXPECT_NEAR(progress.best_scale(), Scale(result.value(), backends), 1e-6);
+  EXPECT_NE(progress.ToString().find("generations="), std::string::npos);
+}
+
+TEST(MemeticTest, GarbageCollectLeavesOnlyNeededFragments) {
+  // Regression for the GarbageCollect rewrite: starting from a fully
+  // replicated seed of the read-only Figure 2 workload, every surviving
+  // placement must be needed by a read class with positive share on that
+  // backend (no leftover replicas survive the rebuild).
+  const Classification cls = testutil::Figure2Classification();
+  const auto backends = HomogeneousBackends(2);
+  Allocation full(2, 3, 4, 0);
+  for (size_t b = 0; b < 2; ++b) full.PlaceSet(b, {0, 1, 2});
+  full.set_read_assign(0, 0, 0.30);
+  full.set_read_assign(0, 3, 0.20);
+  full.set_read_assign(1, 1, 0.25);
+  full.set_read_assign(1, 2, 0.25);
+
+  MemeticOptions opts = FastOptions(17);
+  opts.iterations = 25;
+  MemeticAllocator memetic(opts);
+  auto improved = memetic.Improve(cls, backends, full);
+  ASSERT_TRUE(improved.ok());
+  ASSERT_TRUE(ValidateAllocation(cls, improved.value(), backends).ok());
+  for (size_t b = 0; b < 2; ++b) {
+    FragmentSet needed;
+    for (size_t r = 0; r < cls.reads.size(); ++r) {
+      if (improved->read_assign(b, r) > 1e-15) {
+        needed = SetUnion(needed, cls.reads[r].fragments);
+      }
+    }
+    EXPECT_EQ(improved->BackendFragments(b), needed) << "backend " << b;
+  }
 }
 
 class MemeticPropertySweep : public ::testing::TestWithParam<uint64_t> {};

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qcap {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto forty_two = pool.Submit([]() { return 42; });
+  auto text = pool.Submit([]() { return std::string("ok"); });
+  EXPECT_EQ(forty_two.get(), 42);
+  EXPECT_EQ(text.get(), "ok");
+}
+
+TEST(ThreadPoolTest, RunsManyTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter]() { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesWorkerExceptions) {
+  ThreadPool pool(2);
+  auto failing = pool.Submit(
+      []() -> int { throw std::runtime_error("worker boom"); });
+  EXPECT_THROW(
+      {
+        try {
+          failing.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "worker boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolIsInert) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  // ParallelFor falls back to the calling thread.
+  std::vector<int> hit(16, 0);
+  ParallelFor(&pool, hit.size(), [&](size_t i) { hit[i] = 1; });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 16);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSerialWhenPoolIsNull) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      ParallelFor(&pool, 64,
+                  [&](size_t i) {
+                    ++ran;
+                    if (i == 13) throw std::runtime_error("index 13");
+                  }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Every outer index issues an inner ParallelFor on the same (small) pool;
+  // the waiters must help drain the queue instead of blocking it.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 8, [&](size_t) {
+    ParallelFor(&pool, 8, [&](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace qcap
