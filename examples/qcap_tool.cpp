@@ -9,6 +9,10 @@
 //     --islands N          memetic island count (default 4)
 //     --migration M        generations between island migrations (default 15)
 //     --json               emit JSON instead of the text report
+//     --simulate D:R       after allocating, run an open-loop simulation of
+//                          D seconds at R requests/second and print its stats
+//     --fault-plan SPEC    fault schedule for --simulate, e.g.
+//                          "crash:10:2,recover:25:2,degrade:5:0:4"
 //
 // The memetic allocator is deterministic for a fixed (--islands, seed)
 // regardless of --threads, so --threads only changes the wall-clock.
@@ -50,7 +54,8 @@ int main(int argc, char** argv) {
                  "[--backends N] [--granularity table|column|hybrid|"
                  "horizontal] [--partitions P] "
                  "[--allocator greedy|memetic|full|ksafe1] "
-                 "[--threads T] [--islands N] [--migration M] [--json]\n");
+                 "[--threads T] [--islands N] [--migration M] [--json] "
+                 "[--simulate D:R] [--fault-plan SPEC]\n");
     return 2;
   }
   const std::string schema_path = argv[1];
@@ -60,6 +65,11 @@ int main(int argc, char** argv) {
   std::string allocator_name = "memetic";
   MemeticOptions mopts;
   bool emit_json = false;
+  bool simulate = false;
+  double sim_duration = 0.0;
+  double sim_rate = 0.0;
+  FaultPlan fault_plan;
+  bool have_fault_plan = false;
 
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,9 +117,26 @@ int main(int argc, char** argv) {
       mopts.migration_interval = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--json") {
       emit_json = true;
+    } else if (arg == "--simulate") {
+      const char* v = next();
+      if (!v || std::sscanf(v, "%lf:%lf", &sim_duration, &sim_rate) != 2 ||
+          sim_duration <= 0.0 || sim_rate <= 0.0) {
+        return Fail("--simulate needs <duration>:<rate> with both > 0");
+      }
+      simulate = true;
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      if (!v) return Fail("--fault-plan needs a spec");
+      auto plan = ParseFaultPlan(v);
+      if (!plan.ok()) return Fail(plan.status().ToString());
+      fault_plan = std::move(plan).value();
+      have_fault_plan = true;
     } else {
       return Fail("unknown option '" + arg + "'");
     }
+  }
+  if (have_fault_plan && !simulate) {
+    return Fail("--fault-plan requires --simulate <duration>:<rate>");
   }
 
   auto catalog = engine::LoadCatalog(schema_path);
@@ -152,6 +179,32 @@ int main(int argc, char** argv) {
                 RenderClassificationReport(cls.value()).c_str(),
                 RenderAllocationReport(cls.value(), alloc.value(), backends)
                     .c_str());
+  }
+
+  if (simulate) {
+    SimulationConfig config;
+    config.fault_plan = fault_plan;
+    // Strict fault-plan validation happens inside the simulator run.
+    auto sim =
+        ClusterSimulator::Create(cls.value(), alloc.value(), backends, config);
+    if (!sim.ok()) return Fail(sim.status().ToString());
+    auto stats = sim->RunOpen(sim_duration, sim_rate);
+    if (!stats.ok()) return Fail(stats.status().ToString());
+    std::printf("simulation: %s\n", stats->ToString().c_str());
+    std::printf(
+        "latency: p50=%.4g ms, p95=%.4g ms, p99=%.4g ms, max=%.4g ms\n",
+        stats->p50_response_seconds * 1e3, stats->p95_response_seconds * 1e3,
+        stats->p99_response_seconds * 1e3, stats->max_response_seconds * 1e3);
+    if (have_fault_plan) {
+      std::printf(
+          "faults: plan=[%s], retried=%llu, redispatched=%llu, "
+          "lag_drained=%llu, availability=%.4f%%\n",
+          fault_plan.ToString().c_str(),
+          static_cast<unsigned long long>(stats->retried_requests),
+          static_cast<unsigned long long>(stats->redispatched_requests),
+          static_cast<unsigned long long>(stats->lag_tasks_drained),
+          stats->availability * 100.0);
+    }
   }
   return 0;
 }

@@ -13,7 +13,7 @@ bool BackendNode::CanStart(double now) const {
 }
 
 bool BackendNode::StartNext(double now, BackendTask* task,
-                            double* completion_time) {
+                            double* completion_time, double service_scale) {
   if (queue_.empty()) return false;
   // Earliest-free server.
   size_t best = 0;
@@ -23,7 +23,7 @@ bool BackendNode::StartNext(double now, BackendTask* task,
   const double start = std::max(now, server_free_at_[best]);
   *task = queue_.front();
   queue_.pop_front();
-  *completion_time = start + task->service_seconds;
+  *completion_time = start + task->service_seconds * service_scale;
   server_free_at_[best] = *completion_time;
   ++in_service_;
   return true;
@@ -32,6 +32,13 @@ bool BackendNode::StartNext(double now, BackendTask* task,
 std::vector<BackendTask> BackendNode::DrainQueue() {
   std::vector<BackendTask> out(queue_.begin(), queue_.end());
   queue_.clear();
+  return out;
+}
+
+std::vector<BackendTask> BackendNode::Crash() {
+  std::vector<BackendTask> out = DrainQueue();
+  in_service_ = 0;
+  std::fill(server_free_at_.begin(), server_free_at_.end(), 0.0);
   return out;
 }
 

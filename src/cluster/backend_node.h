@@ -35,7 +35,9 @@ class BackendNode {
   /// Starts the next task on the earliest-free server; returns the task
   /// and its completion time via out-params. Requires CanStart(now) or a
   /// queued task (the start time is max(now, server free time)).
-  bool StartNext(double now, BackendTask* task, double* completion_time);
+  /// \p service_scale stretches the task's service time (straggler mode).
+  bool StartNext(double now, BackendTask* task, double* completion_time,
+                 double service_scale = 1.0);
 
   /// Marks one task completed (bookkeeping for pending()).
   void FinishOne(double busy_seconds);
@@ -43,6 +45,11 @@ class BackendNode {
   /// Removes and returns all queued (not yet started) tasks — used when
   /// the backend crashes.
   std::vector<BackendTask> DrainQueue();
+
+  /// Crash: drains the queue (returned for re-dispatch / replica lag) and
+  /// resets the servers, forgetting in-flight work. Accumulated busy-time
+  /// accounting survives (the work done before the crash was real).
+  std::vector<BackendTask> Crash();
 
   /// Earliest time any server becomes free.
   double NextFreeTime() const;

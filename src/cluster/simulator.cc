@@ -10,26 +10,37 @@ namespace qcap {
 namespace {
 
 /// Sentinel request id for asynchronous secondary update application
-/// (primary-copy / lazy propagation): consumes backend capacity but never
-/// completes a logical request.
+/// (primary-copy / lazy propagation) and replica-lag drain work: consumes
+/// backend capacity but never completes a logical request.
 constexpr uint64_t kBackgroundRequest = ~uint64_t{0};
 
 struct Event {
   double time = 0.0;
-  enum class Kind { kCompletion, kArrival, kFailure } kind = Kind::kCompletion;
-  size_t backend = 0;        // kCompletion / kFailure.
-  uint64_t request_id = 0;   // kCompletion / kArrival.
-  double busy_seconds = 0.0; // kCompletion.
+  /// Tie-break: events at equal times apply in creation order, making the
+  /// processing order (and with it retry ordering) fully deterministic.
+  uint64_t seq = 0;
+  enum class Kind { kCompletion, kArrival, kFault, kRetry } kind =
+      Kind::kCompletion;
+  size_t backend = 0;         // kCompletion.
+  uint64_t request_id = 0;    // kCompletion / kArrival / kRetry; for kFault
+                              // the index into RunState::faults.
+  uint64_t epoch = 0;         // kCompletion: backend epoch at task start.
+  double busy_seconds = 0.0;  // kCompletion: actual (degrade-scaled) time.
+  double base_service = 0.0;  // kCompletion: nominal service time.
 
-  bool operator>(const Event& other) const { return time > other.time; }
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
 };
 
 struct Request {
   size_t class_index = 0;  // reads first, then updates.
   size_t remaining_replicas = 0;
+  size_t completed_replicas = 0;
+  size_t attempts = 0;  // dispatch attempts used (retry budget).
   double submit_time = 0.0;
   bool is_update = false;
-  bool failed = false;  // A replica was lost to a crash.
 };
 
 }  // namespace
@@ -37,6 +48,15 @@ struct Request {
 struct ClusterSimulator::RunState {
   std::vector<BackendNode> nodes;
   std::vector<bool> alive;
+  /// Bumped on every crash; completion events carry the epoch their task
+  /// started under, so stale events (work destroyed by the crash) are
+  /// recognizable even after the backend recovers.
+  std::vector<uint64_t> epoch;
+  /// Service-time multiplier per backend (straggler mode; 1 = healthy).
+  std::vector<double> degrade;
+  /// Missed update applications per backend, drained FIFO on recovery.
+  std::vector<std::vector<BackendTask>> lag;
+  std::vector<FaultEvent> faults;  // sorted by (time, insertion order).
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   std::vector<Request> requests;
   ResponseAccumulator responses;
@@ -44,27 +64,42 @@ struct ClusterSimulator::RunState {
   uint64_t completed_updates = 0;
   uint64_t failed_requests = 0;
   uint64_t rejected_requests = 0;
+  uint64_t retried_requests = 0;
+  uint64_t redispatched_requests = 0;
+  uint64_t lag_tasks_drained = 0;
   size_t rotation = 0;
   double last_completion = 0.0;
+  double timeline_bin = 0.0;
+  std::vector<uint64_t> timeline;
+  uint64_t next_seq = 0;
 
-  /// One replica of \p request_id finished or was lost; updates counters
-  /// when the logical request is done. Returns true iff this call finished
-  /// the logical request.
-  bool Account(uint64_t request_id, double now, bool lost) {
-    Request& req = requests[request_id];
-    if (lost) req.failed = true;
-    if (--req.remaining_replicas != 0) return false;
-    if (req.failed) {
-      ++failed_requests;
-      return true;
-    }
+  uint64_t NextSeq() { return next_seq++; }
+
+  /// Terminal success bookkeeping for one logical request.
+  void FinishLogical(uint64_t request_id, double now) {
+    const Request& req = requests[request_id];
     responses.Add(now - req.submit_time);
     last_completion = now;
+    if (timeline_bin > 0.0) {
+      const size_t bin = static_cast<size_t>(now / timeline_bin);
+      if (bin >= timeline.size()) timeline.resize(bin + 1, 0);
+      ++timeline[bin];
+    }
     if (req.is_update) {
       ++completed_updates;
     } else {
       ++completed_reads;
     }
+  }
+
+  /// One replica of \p request_id executed to completion; updates counters
+  /// when the logical request is done. Returns true iff this call finished
+  /// the logical request.
+  bool AccountCompletion(uint64_t request_id, double now) {
+    Request& req = requests[request_id];
+    ++req.completed_replicas;
+    if (--req.remaining_replicas != 0) return false;
+    FinishLogical(request_id, now);
     return true;
   }
 };
@@ -116,32 +151,44 @@ size_t ClusterSimulator::SampleClass(Rng* rng) const {
   return rng->NextDiscrete(frequency_);
 }
 
-void ClusterSimulator::Dispatch(RunState* state, uint64_t request_id,
-                                size_t class_index, double now) {
+ClusterSimulator::DispatchOutcome ClusterSimulator::Dispatch(
+    RunState* state, uint64_t request_id, size_t class_index, double now) {
   const bool is_update = class_index >= cls_.reads.size();
   Request& req = state->requests[request_id];
   req.class_index = class_index;
-  req.submit_time = now;
+  // Response time spans all attempts: the submit instant is fixed at the
+  // first dispatch, retries only add to the measured latency.
+  if (req.attempts == 0) req.submit_time = now;
+  ++req.attempts;
   req.is_update = is_update;
 
   if (is_update) {
     const size_t u = class_index - cls_.reads.size();
-    std::vector<size_t> targets;
-    for (size_t b : scheduler_.UpdateTargets(u)) {
-      if (state->alive[b]) targets.push_back(b);
+    const auto& targets = scheduler_.UpdateTargets(u);
+    size_t alive_count = 0;
+    for (size_t b : targets) {
+      if (state->alive[b]) ++alive_count;
     }
-    if (targets.empty()) {
+    if (alive_count == 0) {
       ++state->rejected_requests;
-      return;
+      return DispatchOutcome::kRejected;
     }
-    const bool synchronous =
-        config_.propagation == UpdatePropagation::kRowa;
-    req.remaining_replicas = synchronous ? targets.size() : 1;
-    for (size_t i = 0; i < targets.size(); ++i) {
-      const size_t b = targets[i];
+    const bool synchronous = config_.propagation == UpdatePropagation::kRowa;
+    req.remaining_replicas = synchronous ? alive_count : 1;
+    req.completed_replicas = 0;
+    size_t alive_seen = 0;
+    for (size_t b : targets) {
       double service = service_[class_index][b];
+      if (!state->alive[b]) {
+        // Down replica: it owes this application once it rejoins, so the
+        // update commits on the survivors and leaves replica lag behind.
+        state->lag[b].push_back(BackendTask{kBackgroundRequest, service, now});
+        continue;
+      }
       uint64_t task_request = request_id;
-      if (!synchronous && i > 0) {
+      if (synchronous || alive_seen == 0) {
+        // Gates the client's response.
+      } else {
         // Asynchronous secondary application: loads the backend but does
         // not gate the client's response.
         task_request = kBackgroundRequest;
@@ -149,6 +196,7 @@ void ClusterSimulator::Dispatch(RunState* state, uint64_t request_id,
           service *= config_.lazy_apply_factor;
         }
       }
+      ++alive_seen;
       state->nodes[b].Enqueue(BackendTask{task_request, service, now});
       StartReady(state, b, now);
     }
@@ -168,24 +216,226 @@ void ClusterSimulator::Dispatch(RunState* state, uint64_t request_id,
     }
     if (best == state->nodes.size()) {
       ++state->rejected_requests;
-      return;
+      return DispatchOutcome::kRejected;
     }
     req.remaining_replicas = 1;
+    req.completed_replicas = 0;
     state->nodes[best].Enqueue(
         BackendTask{request_id, service_[class_index][best], now});
     StartReady(state, best, now);
   }
+  return DispatchOutcome::kDispatched;
 }
 
 void ClusterSimulator::StartReady(RunState* state, size_t backend, double now) {
   if (!state->alive[backend]) return;
   BackendNode& node = state->nodes[backend];
+  const double scale = state->degrade[backend];
   while (node.CanStart(now)) {
     BackendTask task;
     double completion = 0.0;
-    if (!node.StartNext(now, &task, &completion)) break;
-    state->events.push(Event{completion, Event::Kind::kCompletion, backend,
-                             task.request_id, task.service_seconds});
+    if (!node.StartNext(now, &task, &completion, scale)) break;
+    Event ev;
+    ev.time = completion;
+    ev.seq = state->NextSeq();
+    ev.kind = Event::Kind::kCompletion;
+    ev.backend = backend;
+    ev.request_id = task.request_id;
+    ev.epoch = state->epoch[backend];
+    ev.busy_seconds = task.service_seconds * scale;
+    ev.base_service = task.service_seconds;
+    state->events.push(ev);
+  }
+}
+
+bool ClusterSimulator::ScheduleRetry(RunState* state, uint64_t request_id,
+                                     double now) {
+  Request& req = state->requests[request_id];
+  if (req.attempts >= config_.retry.max_attempts) {
+    ++state->failed_requests;
+    return true;
+  }
+  // Exponential backoff, simulated as added delay before the re-dispatch.
+  double delay = config_.retry.base_backoff_seconds;
+  for (size_t i = 1; i < req.attempts; ++i) {
+    delay *= config_.retry.backoff_multiplier;
+  }
+  ++state->retried_requests;
+  Event ev;
+  ev.time = now + delay;
+  ev.seq = state->NextSeq();
+  ev.kind = Event::Kind::kRetry;
+  ev.request_id = request_id;
+  state->events.push(ev);
+  return false;
+}
+
+bool ClusterSimulator::HandleLostWork(RunState* state, uint64_t request_id,
+                                      size_t backend, double service_seconds,
+                                      double now) {
+  Request& req = state->requests[request_id];
+  if (req.is_update) {
+    // The crashed replica owes this application after recovery. (If the
+    // attempt ends up with *no* surviving replica it is retried in full,
+    // which conservatively re-applies on re-dispatch; the rare overlap
+    // only inflates recovery-drain work, never client-visible counters.)
+    state->lag[backend].push_back(
+        BackendTask{kBackgroundRequest, service_seconds, now});
+    if (--req.remaining_replicas != 0) return false;
+    if (req.completed_replicas > 0) {
+      // The update committed on its surviving replicas; the client's
+      // response is gated by the slowest of those, i.e. now.
+      state->FinishLogical(request_id, now);
+      return true;
+    }
+    // Every replica was destroyed before executing: retry the update.
+    return ScheduleRetry(state, request_id, now);
+  }
+  // Read: the single copy of the work is gone; re-dispatch elsewhere.
+  return ScheduleRetry(state, request_id, now);
+}
+
+size_t ClusterSimulator::ApplyFault(RunState* state, const FaultEvent& fault,
+                                    double now) {
+  const size_t b = fault.backend;
+  switch (fault.kind) {
+    case FaultEvent::Kind::kCrash: {
+      if (!state->alive[b]) return 0;
+      state->alive[b] = false;
+      ++state->epoch[b];
+      state->degrade[b] = 1.0;
+      size_t terminals = 0;
+      // Queued work is re-dispatched immediately (the scheduler observes
+      // the node die); in-flight work is handled when its stale completion
+      // event pops (timeout detection).
+      for (const BackendTask& task : state->nodes[b].Crash()) {
+        if (task.request_id == kBackgroundRequest) {
+          state->lag[b].push_back(
+              BackendTask{kBackgroundRequest, task.service_seconds, now});
+          continue;
+        }
+        if (HandleLostWork(state, task.request_id, b, task.service_seconds,
+                           now)) {
+          ++terminals;
+        }
+      }
+      return terminals;
+    }
+    case FaultEvent::Kind::kRecover: {
+      if (state->alive[b]) return 0;
+      state->alive[b] = true;
+      state->degrade[b] = 1.0;
+      // The replacement first drains the replica lag accumulated while
+      // down; its FIFO queue guarantees lag runs before new arrivals, and
+      // least-pending dispatch steers reads away until it has caught up.
+      state->lag_tasks_drained += state->lag[b].size();
+      for (const BackendTask& task : state->lag[b]) {
+        state->nodes[b].Enqueue(
+            BackendTask{kBackgroundRequest, task.service_seconds, now});
+      }
+      state->lag[b].clear();
+      StartReady(state, b, now);
+      return 0;
+    }
+    case FaultEvent::Kind::kDegrade: {
+      if (!state->alive[b]) return 0;
+      // Applies to tasks *started* from now on; running tasks finish at
+      // their already-scheduled completion.
+      state->degrade[b] = fault.factor;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+Status ClusterSimulator::InitRun(RunState* state) {
+  if (config_.retry.max_attempts == 0) {
+    return Status::InvalidArgument("retry.max_attempts must be >= 1");
+  }
+  if (config_.retry.base_backoff_seconds < 0.0 ||
+      config_.retry.backoff_multiplier <= 0.0) {
+    return Status::InvalidArgument(
+        "retry backoff must be >= 0 with a positive multiplier");
+  }
+  FaultPlan plan = config_.fault_plan;
+  for (const BackendFailure& failure : config_.failures) {
+    plan.Crash(failure.time_seconds, failure.backend);
+  }
+  QCAP_RETURN_NOT_OK(plan.Validate(backends_.size()));
+
+  state->nodes.assign(backends_.size(),
+                      BackendNode(config_.servers_per_backend));
+  state->alive.assign(backends_.size(), true);
+  state->epoch.assign(backends_.size(), 0);
+  state->degrade.assign(backends_.size(), 1.0);
+  state->lag.assign(backends_.size(), {});
+  state->timeline_bin = config_.timeline_bin_seconds;
+  state->faults = plan.Sorted();
+  // Fault events enter the queue first, so a fault scheduled at exactly an
+  // arrival's timestamp applies before the arrival is dispatched.
+  for (size_t i = 0; i < state->faults.size(); ++i) {
+    Event ev;
+    ev.time = state->faults[i].time_seconds;
+    ev.seq = state->NextSeq();
+    ev.kind = Event::Kind::kFault;
+    ev.request_id = i;
+    state->events.push(ev);
+  }
+  return Status::OK();
+}
+
+template <typename IssueNext>
+void ClusterSimulator::DrainEvents(RunState* state, Rng* rng,
+                                   const IssueNext& issue_next) {
+  while (!state->events.empty()) {
+    const Event ev = state->events.top();
+    state->events.pop();
+    const double now = ev.time;
+    switch (ev.kind) {
+      case Event::Kind::kArrival:
+        if (Dispatch(state, ev.request_id, SampleClass(rng), now) ==
+            DispatchOutcome::kRejected) {
+          issue_next(now);
+        }
+        break;
+      case Event::Kind::kFault: {
+        const size_t terminals =
+            ApplyFault(state, state->faults[ev.request_id], now);
+        for (size_t i = 0; i < terminals; ++i) issue_next(now);
+        break;
+      }
+      case Event::Kind::kRetry: {
+        const Request& req = state->requests[ev.request_id];
+        if (Dispatch(state, ev.request_id, req.class_index, now) ==
+            DispatchOutcome::kDispatched) {
+          ++state->redispatched_requests;
+        } else {
+          issue_next(now);
+        }
+        break;
+      }
+      case Event::Kind::kCompletion: {
+        if (ev.epoch != state->epoch[ev.backend]) {
+          // The task's work was destroyed by a crash after it started; the
+          // client notices when the response fails to arrive (now).
+          if (ev.request_id == kBackgroundRequest) {
+            state->lag[ev.backend].push_back(
+                BackendTask{kBackgroundRequest, ev.base_service, now});
+          } else if (HandleLostWork(state, ev.request_id, ev.backend,
+                                    ev.base_service, now)) {
+            issue_next(now);
+          }
+          break;
+        }
+        state->nodes[ev.backend].FinishOne(ev.busy_seconds);
+        if (ev.request_id != kBackgroundRequest &&
+            state->AccountCompletion(ev.request_id, now)) {
+          issue_next(now);
+        }
+        StartReady(state, ev.backend, now);
+        break;
+      }
+    }
   }
 }
 
@@ -196,12 +446,27 @@ SimStats ClusterSimulator::Finish(const RunState& state) const {
   stats.completed_updates = state.completed_updates;
   stats.failed_requests = state.failed_requests;
   stats.rejected_requests = state.rejected_requests;
+  stats.retried_requests = state.retried_requests;
+  stats.redispatched_requests = state.redispatched_requests;
+  stats.lag_tasks_drained = state.lag_tasks_drained;
   stats.throughput = stats.duration_seconds > 0.0
                          ? static_cast<double>(stats.completed_total()) /
                                stats.duration_seconds
                          : 0.0;
   stats.avg_response_seconds = state.responses.mean();
   stats.max_response_seconds = state.responses.max();
+  stats.p50_response_seconds = state.responses.Percentile(0.50);
+  stats.p95_response_seconds = state.responses.Percentile(0.95);
+  stats.p99_response_seconds = state.responses.Percentile(0.99);
+  const uint64_t offered = stats.completed_total() + stats.failed_requests +
+                           stats.rejected_requests;
+  stats.availability =
+      offered > 0
+          ? static_cast<double>(stats.completed_total()) /
+                static_cast<double>(offered)
+          : 1.0;
+  stats.timeline_bin_seconds = state.timeline_bin;
+  stats.timeline_completions = state.timeline;
   stats.backend_busy_seconds.reserve(state.nodes.size());
   for (const auto& node : state.nodes) {
     stats.backend_busy_seconds.push_back(node.busy_seconds());
@@ -214,36 +479,28 @@ Result<SimStats> ClusterSimulator::RunClosed(uint64_t num_requests,
   if (num_requests == 0 || concurrency == 0) {
     return Status::InvalidArgument("num_requests and concurrency must be > 0");
   }
-  if (!config_.failures.empty()) {
-    return Status::InvalidArgument(
-        "failure injection is only supported in open-loop runs");
-  }
   Rng rng(config_.seed);
   RunState state;
-  state.nodes.assign(backends_.size(),
-                     BackendNode(config_.servers_per_backend));
-  state.alive.assign(backends_.size(), true);
+  QCAP_RETURN_NOT_OK(InitRun(&state));
   state.requests.resize(num_requests);
 
   uint64_t issued = 0;
-  const uint64_t initial = std::min<uint64_t>(concurrency, num_requests);
-  for (; issued < initial; ++issued) {
-    Dispatch(&state, issued, SampleClass(&rng), 0.0);
-  }
-
-  while (!state.events.empty()) {
-    const Event ev = state.events.top();
-    state.events.pop();
-    const double now = ev.time;
-    state.nodes[ev.backend].FinishOne(ev.busy_seconds);
-    if (ev.request_id != kBackgroundRequest &&
-        state.Account(ev.request_id, now, /*lost=*/false) &&
-        issued < num_requests) {
-      Dispatch(&state, issued, SampleClass(&rng), now);
-      ++issued;
+  // Keeps the concurrency window full: every terminal outcome (completed,
+  // failed, rejected) admits the next request; rejected dispatches are
+  // terminal immediately, so the window skips past them.
+  const auto issue_next = [&](double now) {
+    while (issued < num_requests) {
+      const uint64_t id = issued++;
+      if (Dispatch(&state, id, SampleClass(&rng), now) ==
+          DispatchOutcome::kDispatched) {
+        break;
+      }
     }
-    StartReady(&state, ev.backend, now);
-  }
+  };
+  const uint64_t initial = std::min<uint64_t>(concurrency, num_requests);
+  for (uint64_t i = 0; i < initial; ++i) issue_next(0.0);
+
+  DrainEvents(&state, &rng, issue_next);
   return Finish(state);
 }
 
@@ -254,9 +511,7 @@ Result<SimStats> ClusterSimulator::RunOpen(double duration_seconds,
   }
   Rng rng(config_.seed);
   RunState state;
-  state.nodes.assign(backends_.size(),
-                     BackendNode(config_.servers_per_backend));
-  state.alive.assign(backends_.size(), true);
+  QCAP_RETURN_NOT_OK(InitRun(&state));
 
   // Pre-generate Poisson arrival times.
   std::vector<double> arrivals;
@@ -268,49 +523,15 @@ Result<SimStats> ClusterSimulator::RunOpen(double duration_seconds,
   }
   state.requests.resize(arrivals.size());
   for (size_t i = 0; i < arrivals.size(); ++i) {
-    state.events.push(Event{arrivals[i], Event::Kind::kArrival, 0, i, 0.0});
-  }
-  for (const BackendFailure& failure : config_.failures) {
-    if (failure.backend >= backends_.size()) {
-      return Status::InvalidArgument("failure backend index out of range");
-    }
-    state.events.push(
-        Event{failure.time_seconds, Event::Kind::kFailure, failure.backend,
-              0, 0.0});
+    Event ev;
+    ev.time = arrivals[i];
+    ev.seq = state.NextSeq();
+    ev.kind = Event::Kind::kArrival;
+    ev.request_id = i;
+    state.events.push(ev);
   }
 
-  while (!state.events.empty()) {
-    const Event ev = state.events.top();
-    state.events.pop();
-    const double now = ev.time;
-    if (ev.kind == Event::Kind::kArrival) {
-      Dispatch(&state, ev.request_id, SampleClass(&rng), now);
-      continue;
-    }
-    if (ev.kind == Event::Kind::kFailure) {
-      if (!state.alive[ev.backend]) continue;
-      state.alive[ev.backend] = false;
-      // Queued work is lost; its logical requests fail.
-      for (const BackendTask& task : state.nodes[ev.backend].DrainQueue()) {
-        if (task.request_id != kBackgroundRequest) {
-          state.Account(task.request_id, now, /*lost=*/true);
-        }
-      }
-      continue;
-    }
-    if (!state.alive[ev.backend]) {
-      // In-flight task on a crashed backend: the work is lost.
-      if (ev.request_id != kBackgroundRequest) {
-        state.Account(ev.request_id, now, /*lost=*/true);
-      }
-      continue;
-    }
-    state.nodes[ev.backend].FinishOne(ev.busy_seconds);
-    if (ev.request_id != kBackgroundRequest) {
-      state.Account(ev.request_id, now, /*lost=*/false);
-    }
-    StartReady(&state, ev.backend, now);
-  }
+  DrainEvents(&state, &rng, [](double) {});
   SimStats stats = Finish(state);
   // Open-loop throughput is measured over the arrival window.
   stats.duration_seconds = std::max(duration_seconds, state.last_completion);

@@ -3,12 +3,15 @@
 // Replaces the paper's physical 16-node PostgreSQL/MySQL cluster: queries
 // are dispatched by the least-pending-first scheduler to per-backend FIFO
 // queues, updates fan out per ROWA, and service times come from the engine
-// cost model. Deterministic for a given seed.
+// cost model. Deterministic for a given seed, including the full failure/
+// recovery lifecycle (FaultPlan crash/recover/degrade events and the
+// retry/backoff re-dispatch of work stranded by a crash).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "cluster/fault_plan.h"
 #include "cluster/scheduler.h"
 #include "cluster/stats.h"
 #include "common/random.h"
@@ -35,13 +38,31 @@ enum class UpdatePropagation {
   kLazy,
 };
 
-/// A backend crash injected into an open-loop run: at \p time_seconds the
-/// backend stops, its queued and in-flight work is lost, and the scheduler
-/// routes around it (requests whose class has no surviving capable backend
-/// are rejected).
+/// Legacy single-crash injection, kept as sugar: every entry is merged
+/// into the run's FaultPlan as a crash event. New code should build a
+/// FaultPlan directly (SimulationConfig::fault_plan), which also supports
+/// recover and degrade events.
 struct BackendFailure {
   double time_seconds = 0.0;
   size_t backend = 0;
+};
+
+/// How the scheduler re-dispatches requests stranded by a backend crash.
+/// Queued work is re-dispatched when the crash is processed (the scheduler
+/// observes the node die); in-flight work is re-dispatched when its
+/// expected completion passes without a response (timeout detection). Each
+/// attempt adds an exponentially growing backoff delay. Bit-deterministic:
+/// retries re-use the request's original class sample and draw nothing
+/// from the RNG.
+struct RetryPolicy {
+  /// Maximum dispatch attempts per logical request, including the first.
+  /// 1 disables retries (stranded work counts as failed, the pre-FaultPlan
+  /// behaviour); 0 is invalid.
+  size_t max_attempts = 3;
+  /// Delay before the first re-dispatch, simulated as added latency.
+  double base_backoff_seconds = 0.01;
+  /// Multiplier applied to the backoff on each further attempt.
+  double backoff_multiplier = 2.0;
 };
 
 /// Configuration of one simulated cluster.
@@ -56,13 +77,20 @@ struct SimulationConfig {
   UpdatePropagation propagation = UpdatePropagation::kRowa;
   /// Work discount for asynchronous batched application under kLazy.
   double lazy_apply_factor = 0.5;
-  /// Crashes to inject (open-loop runs only).
+  /// Crash/recover/degrade schedule (open- and closed-loop runs).
+  FaultPlan fault_plan;
+  /// Legacy crash list, merged into \ref fault_plan at run start.
   std::vector<BackendFailure> failures;
+  /// Re-dispatch policy for crash-stranded requests.
+  RetryPolicy retry;
   /// ROWA coordination overhead: each update's per-replica service time is
   /// inflated by this fraction per additional replica (ordering all
   /// replicas' application of the same update costs synchronization that
   /// grows with the fan-out). 0 disables the effect.
   double rowa_fanout_overhead = 0.0;
+  /// When > 0, SimStats::timeline_completions counts completions per bin
+  /// of this width (seconds) — used to plot throughput dips around faults.
+  double timeline_bin_seconds = 0.0;
 };
 
 /// \brief Event-driven cluster simulator over a fixed allocation.
@@ -90,12 +118,33 @@ class ClusterSimulator {
                    const SimulationConfig& config, Scheduler scheduler);
 
   struct RunState;
+  enum class DispatchOutcome { kDispatched, kRejected };
 
   /// Samples a class index in [0, reads+updates) by execution frequency.
   size_t SampleClass(Rng* rng) const;
-  void Dispatch(RunState* state, uint64_t request_id, size_t class_index,
-                double now);
+  DispatchOutcome Dispatch(RunState* state, uint64_t request_id,
+                           size_t class_index, double now);
   void StartReady(RunState* state, size_t backend, double now);
+  /// A crash destroyed \p request_id's work on \p backend with base service
+  /// time \p service_seconds: schedules a retry, accumulates replica lag,
+  /// or fails the request per the retry policy. Returns true iff this
+  /// reached a terminal state (failed, or an update completed on its
+  /// surviving replicas).
+  bool HandleLostWork(RunState* state, uint64_t request_id, size_t backend,
+                      double service_seconds, double now);
+  /// Retry-budget bookkeeping: schedules the next attempt or fails the
+  /// request. Returns true iff the request failed terminally.
+  bool ScheduleRetry(RunState* state, uint64_t request_id, double now);
+  /// Applies one fault event; returns how many logical requests reached a
+  /// terminal state as a direct consequence (crash-stranded work).
+  size_t ApplyFault(RunState* state, const FaultEvent& fault, double now);
+  /// Merges config_.failures into config_.fault_plan, validates, and seeds
+  /// \p state with nodes/events. Shared by both run modes.
+  Status InitRun(RunState* state);
+  /// Drains the event queue; \p issue_next is invoked (closed loop) every
+  /// time a logical request reaches a terminal state.
+  template <typename IssueNext>
+  void DrainEvents(RunState* state, Rng* rng, const IssueNext& issue_next);
   SimStats Finish(const RunState& state) const;
 
   const Classification& cls_;

@@ -48,6 +48,18 @@ std::string SearchProgress::ToString() const {
          (std::isinf(scale) ? std::string("inf") : FormatDouble(scale, 4));
 }
 
+double ResponseAccumulator::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  const size_t n = sorted.size();
+  const double clamped = std::min(std::max(p, 0.0), 1.0);
+  size_t rank = static_cast<size_t>(std::ceil(clamped * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  std::nth_element(sorted.begin(), sorted.begin() + (rank - 1), sorted.end());
+  return sorted[rank - 1];
+}
+
 double SimStats::BusyBalanceDeviation(
     const std::vector<double>& relative_loads) const {
   const size_t n = backend_busy_seconds.size();
@@ -68,12 +80,22 @@ double SimStats::BusyBalanceDeviation(
 }
 
 std::string SimStats::ToString() const {
-  return "throughput=" + FormatDouble(throughput, 2) + " q/s, completed=" +
-         std::to_string(completed_total()) + " (" +
-         std::to_string(completed_reads) + "r/" +
-         std::to_string(completed_updates) + "u), avg_resp=" +
-         FormatDouble(avg_response_seconds * 1000.0, 1) + " ms, duration=" +
-         FormatDouble(duration_seconds, 1) + " s";
+  std::string out =
+      "throughput=" + FormatDouble(throughput, 2) + " q/s, completed=" +
+      std::to_string(completed_total()) + " (" +
+      std::to_string(completed_reads) + "r/" +
+      std::to_string(completed_updates) + "u), avg_resp=" +
+      FormatDouble(avg_response_seconds * 1000.0, 1) + " ms, p95=" +
+      FormatDouble(p95_response_seconds * 1000.0, 1) + " ms, duration=" +
+      FormatDouble(duration_seconds, 1) + " s";
+  if (failed_requests > 0 || rejected_requests > 0 || retried_requests > 0) {
+    out += ", availability=" + FormatPercent(availability, 2) + " (failed=" +
+           std::to_string(failed_requests) + ", rejected=" +
+           std::to_string(rejected_requests) + ", retried=" +
+           std::to_string(retried_requests) + ", redispatched=" +
+           std::to_string(redispatched_requests) + ")";
+  }
+  return out;
 }
 
 }  // namespace qcap

@@ -18,18 +18,40 @@ struct SimStats {
   /// on every replica).
   uint64_t completed_reads = 0;
   uint64_t completed_updates = 0;
-  /// Requests lost to an injected backend failure mid-execution.
+  /// Requests abandoned after exhausting the retry budget (with retries
+  /// disabled: any request whose work a crash destroyed).
   uint64_t failed_requests = 0;
   /// Requests that could not be dispatched because no surviving backend
   /// holds the class's data (the situation k-safety prevents).
   uint64_t rejected_requests = 0;
+  /// Retry attempts scheduled for requests stranded by a crash (each adds
+  /// the policy's backoff delay to the request's response time).
+  uint64_t retried_requests = 0;
+  /// Retries that successfully landed the request on a surviving backend.
+  uint64_t redispatched_requests = 0;
+  /// Missed update applications (replica lag) drained by recoveries.
+  uint64_t lag_tasks_drained = 0;
   /// Logical requests per second.
   double throughput = 0.0;
   /// Mean and maximum response time (queueing + service) in seconds.
   double avg_response_seconds = 0.0;
   double max_response_seconds = 0.0;
+  /// Response-time percentiles (nearest-rank) in seconds.
+  double p50_response_seconds = 0.0;
+  double p95_response_seconds = 0.0;
+  double p99_response_seconds = 0.0;
+  /// Fraction of the offered load that was served:
+  /// completed / (completed + failed + rejected); 1 when nothing was offered.
+  double availability = 1.0;
+  /// Filled by the self-healing controller: seconds from a crash to its
+  /// repaired replacement rejoining (max over repairs; 0 = no repair ran).
+  double recovery_seconds = 0.0;
   /// Per-backend total busy (processing) seconds.
   std::vector<double> backend_busy_seconds;
+  /// Completions per timeline bin when SimulationConfig::timeline_bin_seconds
+  /// is > 0 (bin i covers [i*bin, (i+1)*bin) simulated seconds).
+  double timeline_bin_seconds = 0.0;
+  std::vector<uint64_t> timeline_completions;
 
   uint64_t completed_total() const { return completed_reads + completed_updates; }
 
@@ -75,22 +97,28 @@ struct SearchProgress {
   std::string ToString() const;
 };
 
-/// Online mean/max accumulator for response times.
+/// Mean/max/percentile accumulator for response times. Samples are kept so
+/// percentiles are exact (nearest-rank), not approximated.
 class ResponseAccumulator {
  public:
   void Add(double seconds) {
     sum_ += seconds;
-    ++count_;
     if (seconds > max_) max_ = seconds;
+    samples_.push_back(seconds);
   }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
   double max() const { return max_; }
-  uint64_t count() const { return count_; }
+  uint64_t count() const { return samples_.size(); }
+
+  /// Nearest-rank percentile for \p p in (0, 1]; 0 when no samples.
+  double Percentile(double p) const;
 
  private:
   double sum_ = 0.0;
   double max_ = 0.0;
-  uint64_t count_ = 0;
+  std::vector<double> samples_;
 };
 
 }  // namespace qcap

@@ -1,5 +1,6 @@
 #include "common/strings.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -12,6 +13,34 @@ std::string Join(const std::vector<std::string>& parts, const std::string& sep) 
     out += parts[i];
   }
   return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    const size_t end = s.find(sep, pos);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, end - pos));
+    pos = end + 1;
+  }
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
 }
 
 std::string FormatDouble(double v, int precision) {

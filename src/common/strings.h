@@ -9,6 +9,13 @@ namespace qcap {
 /// Joins \p parts with \p sep.
 std::string Join(const std::vector<std::string>& parts, const std::string& sep);
 
+/// Splits \p s on every occurrence of \p sep (empty fields preserved;
+/// splitting "" yields one empty field).
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
 /// Formats a double with \p precision fractional digits.
 std::string FormatDouble(double v, int precision = 3);
 

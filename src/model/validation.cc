@@ -124,4 +124,61 @@ Status ValidateAllocation(const Classification& cls, const Allocation& alloc,
   return Status::OK();
 }
 
+Status CheckKSafety(const Classification& cls, const Allocation& alloc,
+                    const std::vector<bool>& alive, int k) {
+  if (alive.size() != alloc.num_backends()) {
+    return Status::InvalidArgument(
+        "alive mask has " + std::to_string(alive.size()) + " entries for " +
+        std::to_string(alloc.num_backends()) + " backends");
+  }
+  if (k < 0) {
+    return Status::InvalidArgument("k must be >= 0");
+  }
+  if (alloc.num_fragments() != cls.catalog.size() ||
+      alloc.num_reads() != cls.reads.size() ||
+      alloc.num_updates() != cls.updates.size()) {
+    return Status::InvalidArgument(
+        "allocation dimensions do not match classification");
+  }
+  const size_t required = static_cast<size_t>(k) + 1;
+
+  for (const QueryClass& c : cls.reads) {
+    size_t capable = 0;
+    for (size_t b = 0; b < alloc.num_backends(); ++b) {
+      if (alive[b] && alloc.HoldsAll(b, c.fragments)) ++capable;
+    }
+    if (capable < required) {
+      return Status::Infeasible(
+          "read class " + c.label + " executable on " +
+          std::to_string(capable) + " surviving backends, k=" +
+          std::to_string(k) + " requires " + std::to_string(required));
+    }
+  }
+  for (const QueryClass& c : cls.updates) {
+    size_t capable = 0;
+    for (size_t b = 0; b < alloc.num_backends(); ++b) {
+      if (alive[b] && alloc.HoldsAll(b, c.fragments)) ++capable;
+    }
+    if (capable < required) {
+      return Status::Infeasible(
+          "update class " + c.label + " executable on " +
+          std::to_string(capable) + " surviving backends, k=" +
+          std::to_string(k) + " requires " + std::to_string(required));
+    }
+  }
+  for (FragmentId f = 0; f < alloc.num_fragments(); ++f) {
+    size_t replicas = 0;
+    for (size_t b = 0; b < alloc.num_backends(); ++b) {
+      if (alive[b] && alloc.IsPlaced(b, f)) ++replicas;
+    }
+    if (replicas < required) {
+      return Status::Infeasible(
+          "fragment '" + cls.catalog.Get(f).name + "' stored on " +
+          std::to_string(replicas) + " surviving backends, k=" +
+          std::to_string(k) + " requires " + std::to_string(required));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace qcap

@@ -36,4 +36,17 @@ Status ValidateAllocation(const Classification& cls, const Allocation& alloc,
                           const std::vector<BackendSpec>& backends,
                           const ValidationOptions& options = {});
 
+/// \brief Algorithm 3 (Appendix C): checks k-safety of an existing
+/// allocation restricted to the backends still \p alive.
+///
+/// The surviving sub-cluster must keep every read class executable on at
+/// least k+1 alive backends, every update class allocated on at least k+1
+/// alive backends, and every fragment stored on at least k+1 alive
+/// backends (Eq. 46/47). With k = 0 this degenerates to "every class is
+/// still servable and no data was lost" — the condition the self-healing
+/// controller re-checks after each detected crash. \p alive must have one
+/// entry per allocation backend.
+Status CheckKSafety(const Classification& cls, const Allocation& alloc,
+                    const std::vector<bool>& alive, int k);
+
 }  // namespace qcap

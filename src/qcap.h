@@ -63,6 +63,7 @@
 
 #include "cluster/backend_node.h"
 #include "cluster/controller.h"
+#include "cluster/fault_plan.h"
 #include "cluster/scheduler.h"
 #include "cluster/simulator.h"
 #include "cluster/stats.h"

@@ -128,17 +128,25 @@ TEST(FailureInjectionTest, DoubleCrashNeedsKTwo) {
   EXPECT_EQ(worst_k2, 0u);   // k=2 survives every pair.
 }
 
-TEST(FailureInjectionTest, ClosedLoopRejectsFailureConfig) {
+TEST(FailureInjectionTest, ClosedLoopSurvivesCrashAndRecover) {
   Fixture fx;
-  GreedyAllocator greedy;
-  auto alloc = greedy.Allocate(fx.cls, fx.backends);
+  KSafeGreedyAllocator ksafe({1, 1e-12, 0});
+  auto alloc = ksafe.Allocate(fx.cls, fx.backends);
   ASSERT_TRUE(alloc.ok());
   SimulationConfig config;
-  config.failures = {{1.0, 0}};
-  auto sim = ClusterSimulator::Create(fx.cls, alloc.value(), fx.backends,
-                                      config);
+  config.seed = 9;
+  config.fault_plan.Crash(0.5, 2);
+  config.fault_plan.Recover(2.0, 2);
+  auto sim =
+      ClusterSimulator::Create(fx.cls, alloc.value(), fx.backends, config);
   ASSERT_TRUE(sim.ok());
-  EXPECT_FALSE(sim->RunClosed(100, 4).ok());
+  auto stats = sim->RunClosed(20000, 16);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // A k=1-safe layout serves the whole closed-loop run across the outage:
+  // every request is eventually completed (conservation), none rejected.
+  EXPECT_EQ(stats->rejected_requests, 0u);
+  EXPECT_EQ(stats->failed_requests, 0u);
+  EXPECT_EQ(stats->completed_total(), 20000u);
 }
 
 TEST(FailureInjectionTest, BadFailureIndexRejected) {

@@ -159,5 +159,56 @@ TEST(ValidationTest, KSafetySatisfiedByFullReplication) {
       ValidateAllocation(cls, a, HomogeneousBackends(3), opts).ok());
 }
 
+/// A fully replicated three-backend allocation (every class everywhere).
+Allocation FullThreeBackend(const Classification& cls) {
+  Allocation a(3, 3, 4, 3);
+  for (size_t b = 0; b < 3; ++b) {
+    a.PlaceSet(b, {0, 1, 2});
+    for (size_t u = 0; u < 3; ++u) {
+      a.set_update_assign(b, u, cls.updates[u].weight);
+    }
+  }
+  for (size_t r = 0; r < 4; ++r) {
+    a.set_read_assign(0, r, cls.reads[r].weight);
+  }
+  return a;
+}
+
+TEST(CheckKSafetyTest, AllAliveFullReplicationIsKSafe) {
+  const Classification cls = testutil::AppendixAClassification();
+  const Allocation a = FullThreeBackend(cls);
+  EXPECT_TRUE(CheckKSafety(cls, a, {true, true, true}, 2).ok());
+  EXPECT_TRUE(CheckKSafety(cls, a, {true, true, true}, 0).ok());
+}
+
+TEST(CheckKSafetyTest, CrashShrinksTheMargin) {
+  const Classification cls = testutil::AppendixAClassification();
+  const Allocation a = FullThreeBackend(cls);
+  // One dead backend: the survivors are 1-safe but no longer 2-safe
+  // (Algorithm 3 over the alive sub-cluster).
+  EXPECT_TRUE(CheckKSafety(cls, a, {true, false, true}, 1).ok());
+  EXPECT_FALSE(CheckKSafety(cls, a, {true, false, true}, 2).ok());
+  // Two dead: only servable, with zero margin.
+  EXPECT_TRUE(CheckKSafety(cls, a, {false, false, true}, 0).ok());
+  EXPECT_FALSE(CheckKSafety(cls, a, {false, false, true}, 1).ok());
+}
+
+TEST(CheckKSafetyTest, ZeroSafeAllocationFailsAfterExclusiveCrash) {
+  const Classification cls = testutil::AppendixAClassification();
+  const Allocation a = ValidTwoBackend(cls);
+  // B2 exclusively holds fragment C: losing it makes Q3/U3 unservable even
+  // at k = 0.
+  auto status = CheckKSafety(cls, a, {true, false}, 0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(CheckKSafety(cls, a, {true, true}, 0).ok());
+}
+
+TEST(CheckKSafetyTest, RejectsBadArguments) {
+  const Classification cls = testutil::AppendixAClassification();
+  const Allocation a = ValidTwoBackend(cls);
+  EXPECT_FALSE(CheckKSafety(cls, a, {true}, 0).ok());        // mask size
+  EXPECT_FALSE(CheckKSafety(cls, a, {true, true}, -1).ok()); // negative k
+}
+
 }  // namespace
 }  // namespace qcap
