@@ -4,8 +4,13 @@
 // the implementation itself.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "alloc/greedy.h"
 #include "alloc/memetic.h"
+#include "alloc/search_kernel.h"
 #include "cluster/simulator.h"
 #include "common/random.h"
 #include "model/metrics.h"
@@ -14,6 +19,28 @@
 #include "workload/classifier.h"
 #include "workloads/tpcapp.h"
 #include "workloads/tpch.h"
+
+// Global allocation counter: the GarbageCollect/EvaluateDelta benchmarks
+// assert (via the "allocs/iter" counter) that the steady-state hot path does
+// not touch the heap.
+static std::atomic<uint64_t> g_alloc_count{0};
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace qcap {
 namespace {
@@ -61,6 +88,88 @@ void BM_MemeticIterationTpcApp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MemeticIterationTpcApp);
+
+/// Shared fixture for the search-kernel benchmarks: TPC-App at table
+/// granularity on 10 backends, greedy seed, bound sizes.
+struct KernelFixture {
+  Classification cls;
+  std::vector<BackendSpec> backends;
+  ClassificationIndex index;
+  Allocation seed;
+
+  static KernelFixture Make() {
+    const engine::Catalog catalog = workloads::TpcAppCatalog(300.0);
+    const QueryJournal journal = workloads::TpcAppJournal(200000);
+    Classifier classifier(catalog, {Granularity::kTable, 4, true});
+    Classification cls = classifier.Classify(journal).value();
+    auto backends = HomogeneousBackends(10);
+    GreedyAllocator greedy;
+    Allocation seed = greedy.Allocate(cls, backends).value();
+    seed.BindSizes(cls.catalog);
+    ClassificationIndex index(cls);
+    return KernelFixture{std::move(cls), std::move(backends), std::move(index),
+                         std::move(seed)};
+  }
+};
+
+void BM_GarbageCollect(benchmark::State& state) {
+  auto fx = KernelFixture::Make();
+  alloc_internal::SearchKernel kernel(fx.cls, fx.index, fx.backends);
+  Allocation work = fx.seed;
+  kernel.GarbageCollect(&work);  // Warm the scratch buffers.
+  uint64_t allocs = 0;
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    kernel.GarbageCollect(&work);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++iters;
+    benchmark::DoNotOptimize(work);
+  }
+  state.counters["allocs/iter"] =
+      iters == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(iters);
+}
+BENCHMARK(BM_GarbageCollect);
+
+void BM_EvaluateFull(benchmark::State& state) {
+  auto fx = KernelFixture::Make();
+  alloc_internal::SearchKernel kernel(fx.cls, fx.index, fx.backends);
+  kernel.GarbageCollect(&fx.seed);
+  for (auto _ : state) {
+    auto cost = kernel.Evaluate(fx.seed);
+    benchmark::DoNotOptimize(cost);
+  }
+}
+BENCHMARK(BM_EvaluateFull);
+
+void BM_EvaluateDelta(benchmark::State& state) {
+  auto fx = KernelFixture::Make();
+  alloc_internal::SearchKernel kernel(fx.cls, fx.index, fx.backends);
+  kernel.GarbageCollect(&fx.seed);
+  kernel.BeginDelta(fx.seed, kernel.Evaluate(fx.seed));
+  // A representative trial: read share moved between two backends, partial
+  // GC over the touched rows.
+  Allocation trial = fx.seed;
+  const double share = trial.read_assign(0, 0);
+  trial.add_read_assign(0, 0, -share);
+  trial.add_read_assign(1, 0, share);
+  trial.PlaceBits(1, fx.index.read_bits(0));
+  std::vector<size_t> touched;
+  const size_t bs[2] = {0, 1};
+  kernel.GarbageCollectBackends(&trial, bs, 2, &touched);
+  uint64_t allocs = 0;
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    auto cost = kernel.EvaluateDelta(trial, touched);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++iters;
+    benchmark::DoNotOptimize(cost);
+  }
+  state.counters["allocs/iter"] =
+      iters == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(iters);
+}
+BENCHMARK(BM_EvaluateDelta);
 
 void BM_Hungarian(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -24,6 +24,27 @@ double CloseUpdatesOnBackend(const Classification& cls, size_t b,
   return added;
 }
 
+double CloseUpdatesOnBackend(const Classification& cls,
+                             const ClassificationIndex& index, size_t b,
+                             Allocation* alloc, DenseBitset* row_scratch) {
+  double added = 0.0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    alloc->SnapshotRow(b, row_scratch);
+    for (size_t u = 0; u < cls.updates.size(); ++u) {
+      if (alloc->update_assign(b, u) > 0.0) continue;
+      if (Intersects(index.update_bits(u), *row_scratch)) {
+        alloc->PlaceBits(b, index.update_bits(u));
+        alloc->set_update_assign(b, u, cls.updates[u].weight);
+        added += cls.updates[u].weight;
+        changed = true;
+      }
+    }
+  }
+  return added;
+}
+
 void CloseUpdatesEverywhere(const Classification& cls, Allocation* alloc) {
   for (size_t b = 0; b < alloc->num_backends(); ++b) {
     CloseUpdatesOnBackend(cls, b, alloc);

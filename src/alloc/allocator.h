@@ -37,6 +37,15 @@ namespace alloc_internal {
 double CloseUpdatesOnBackend(const Classification& cls, size_t b,
                              Allocation* alloc);
 
+/// Index-accelerated CloseUpdatesOnBackend: identical fixpoint order (each
+/// round tests against a snapshot of the row taken at round start, ascending
+/// update index) so the accumulated weight is bitwise identical to the
+/// unindexed version, but overlap tests are word-parallel and nothing is
+/// heap-allocated beyond \p row_scratch, which callers size once and reuse.
+double CloseUpdatesOnBackend(const Classification& cls,
+                             const ClassificationIndex& index, size_t b,
+                             Allocation* alloc, DenseBitset* row_scratch);
+
 /// Runs CloseUpdatesOnBackend for every backend.
 void CloseUpdatesEverywhere(const Classification& cls, Allocation* alloc);
 

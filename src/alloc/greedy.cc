@@ -30,7 +30,11 @@ Result<Allocation> GreedyAllocator::Allocate(
 
   const size_t n = backends.size();
   const double eps = options_.epsilon;
-  Allocation alloc(n, cls.catalog.size(), cls.reads.size(), cls.updates.size());
+  // The index memoizes overlaps, bundles and their byte sizes with the same
+  // accumulation orders as the Classification helpers, so every comparison
+  // below is bitwise identical to the unindexed implementation.
+  const ClassificationIndex index(cls);
+  Allocation alloc(n, cls.catalog, cls.reads.size(), cls.updates.size());
 
   // Line 1: C* = CQ ∪ {CU with no overlapping read class}.
   std::vector<Pending> queue;
@@ -38,29 +42,35 @@ Result<Allocation> GreedyAllocator::Allocate(
     queue.push_back(Pending{r, false});
   }
   for (size_t u = 0; u < cls.updates.size(); ++u) {
-    bool covered = false;
-    for (const auto& rc : cls.reads) {
-      if (Intersects(rc.fragments, cls.updates[u].fragments)) {
-        covered = true;
-        break;
-      }
+    if (index.reads_overlapping_update(u).empty()) {
+      queue.push_back(Pending{u, true});
     }
-    if (!covered) queue.push_back(Pending{u, true});
   }
 
   auto class_of = [&](const Pending& p) -> const QueryClass& {
     return p.is_update ? cls.updates[p.index] : cls.reads[p.index];
   };
+  auto class_bits = [&](const Pending& p) -> const DenseBitset& {
+    return p.is_update ? index.update_bits(p.index) : index.read_bits(p.index);
+  };
+  auto overlap_weight = [&](const Pending& p) {
+    return p.is_update ? index.update_overlapping_update_weight(p.index)
+                       : index.read_overlapping_update_weight(p.index);
+  };
   auto bundle_weight = [&](const Pending& p) {
     // weight(C ∪ updates(C)): the class's own weight plus all overlapping
     // update classes (for an update class this includes itself once).
-    const QueryClass& c = class_of(p);
-    double w = cls.OverlappingUpdateWeight(c);
-    if (!p.is_update) w += c.weight;
+    double w = overlap_weight(p);
+    if (!p.is_update) w += class_of(p).weight;
     return w;
   };
   auto bundle_size = [&](const Pending& p) {
-    return cls.catalog.SetBytes(cls.FragmentsWithUpdates(class_of(p)));
+    return p.is_update ? index.update_bundle_bytes(p.index)
+                       : index.read_bundle_bytes(p.index);
+  };
+  auto bundle_bits = [&](const Pending& p) -> const DenseBitset& {
+    return p.is_update ? index.update_bundle_bits(p.index)
+                       : index.read_bundle_bits(p.index);
   };
 
   // Line 2: initial sort, descending weight x size.
@@ -78,6 +88,7 @@ Result<Allocation> GreedyAllocator::Allocate(
   for (size_t r = 0; r < cls.reads.size(); ++r) {
     rest_weight[r] = cls.reads[r].weight;
   }
+  DenseBitset row_scratch(cls.catalog.size());
 
   size_t max_iters = options_.max_iterations;
   if (max_iters == 0) {
@@ -119,11 +130,11 @@ Result<Allocation> GreedyAllocator::Allocate(
     // This repairs the misplacement corner case the paper reports for
     // small classes with heavy updates (Section 4.2) without hurting large
     // classes that must spread.
-    const FragmentSet bundle = cls.FragmentsWithUpdates(c);
+    const DenseBitset& bundle = bundle_bits(p);
     double best_holder_rel = kInf;
     if (!p.is_update) {
       for (size_t b = 0; b < n; ++b) {
-        if (alloc.HoldsAll(b, bundle)) {
+        if (alloc.HoldsAllBits(b, bundle)) {
           best_holder_rel = std::min(
               best_holder_rel, (current_load[b] + rest_weight[p.index]) /
                                    backends[b].relative_load);
@@ -138,7 +149,7 @@ Result<Allocation> GreedyAllocator::Allocate(
       }
       if (!p.is_update) {
         double added_updates = 0.0;
-        for (size_t u : cls.OverlappingUpdates(c)) {
+        for (size_t u : index.read_overlapping_updates(p.index)) {
           if (alloc.update_assign(b, u) <= 0.0) {
             added_updates += cls.updates[u].weight;
           }
@@ -154,8 +165,7 @@ Result<Allocation> GreedyAllocator::Allocate(
       if (current_load[b] <= eps) {
         difference[b] = 0.0;
       } else {
-        difference[b] =
-            cls.catalog.SetBytes(SetDifference(bundle, alloc.BackendFragments(b)));
+        difference[b] = alloc.MissingBytes(b, bundle);
       }
     }
 
@@ -178,8 +188,7 @@ Result<Allocation> GreedyAllocator::Allocate(
       double best_missing = kInf;
       double best_rel = kInf;
       for (size_t b = 0; b < n; ++b) {
-        const double missing =
-            cls.catalog.SetBytes(SetDifference(bundle, alloc.BackendFragments(b)));
+        const double missing = alloc.MissingBytes(b, bundle);
         const double rel = current_load[b] / backends[b].relative_load;
         // Relative tolerance: byte sizes are large and "equal" candidates
         // must tie so the load comparison can break the tie.
@@ -195,9 +204,9 @@ Result<Allocation> GreedyAllocator::Allocate(
     }
 
     // Lines 18-19: place fragments; add not-yet-allocated update load.
-    alloc.PlaceSet(target, c.fragments);
-    const double added_updates =
-        alloc_internal::CloseUpdatesOnBackend(cls, target, &alloc);
+    alloc.PlaceBits(target, class_bits(p));
+    const double added_updates = alloc_internal::CloseUpdatesOnBackend(
+        cls, index, target, &alloc, &row_scratch);
     current_load[target] += added_updates;
 #ifdef QCAP_GREEDY_TRACE
     std::fprintf(stderr, "pick %s -> B%zu (cur=%.3f scaled=%.3f addUpd=%.3f)\n",
@@ -248,16 +257,14 @@ Result<Allocation> GreedyAllocator::Allocate(
     // (including co-allocated updates) x size.
     std::stable_sort(queue.begin(), queue.end(),
                      [&](const Pending& a, const Pending& b) {
-                       const double wa = a.is_update
-                                             ? bundle_weight(a)
-                                             : rest_weight[a.index] +
-                                                   cls.OverlappingUpdateWeight(
-                                                       class_of(a));
-                       const double wb = b.is_update
-                                             ? bundle_weight(b)
-                                             : rest_weight[b.index] +
-                                                   cls.OverlappingUpdateWeight(
-                                                       class_of(b));
+                       const double wa =
+                           a.is_update
+                               ? bundle_weight(a)
+                               : rest_weight[a.index] + overlap_weight(a);
+                       const double wb =
+                           b.is_update
+                               ? bundle_weight(b)
+                               : rest_weight[b.index] + overlap_weight(b);
                        return wa * bundle_size(a) > wb * bundle_size(b);
                      });
   }

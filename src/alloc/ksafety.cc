@@ -36,7 +36,10 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
   }
 
   const double eps = options_.epsilon;
-  Allocation alloc(n, cls.catalog.size(), cls.reads.size(), cls.updates.size());
+  // Memoized overlaps/bundles with the same accumulation orders as the
+  // Classification helpers: comparisons stay bitwise identical.
+  const ClassificationIndex index(cls);
+  Allocation alloc(n, cls.catalog, cls.reads.size(), cls.updates.size());
 
   // Lines 1-2: C* plus the initial replica multiset Ck (update classes not
   // covered by any read class need k extra explicit copies).
@@ -45,14 +48,7 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
     queue.push_back(Pending{r, false, false});
   }
   for (size_t u = 0; u < cls.updates.size(); ++u) {
-    bool covered = false;
-    for (const auto& rc : cls.reads) {
-      if (Intersects(rc.fragments, cls.updates[u].fragments)) {
-        covered = true;
-        break;
-      }
-    }
-    if (!covered) {
+    if (index.reads_overlapping_update(u).empty()) {
       queue.push_back(Pending{u, true, false});
       for (int copy = 0; copy < k; ++copy) {
         queue.push_back(Pending{u, true, true});
@@ -63,15 +59,27 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
   auto class_of = [&](const Pending& p) -> const QueryClass& {
     return p.is_update ? cls.updates[p.index] : cls.reads[p.index];
   };
+  auto class_bits = [&](const Pending& p) -> const DenseBitset& {
+    return p.is_update ? index.update_bits(p.index) : index.read_bits(p.index);
+  };
+  auto overlap_weight = [&](const Pending& p) {
+    return p.is_update ? index.update_overlapping_update_weight(p.index)
+                       : index.read_overlapping_update_weight(p.index);
+  };
   auto bundle_weight = [&](const Pending& p) {
-    const QueryClass& c = class_of(p);
-    double w = cls.OverlappingUpdateWeight(c);
-    if (!p.is_update && !p.is_replica) w += c.weight;
+    double w = overlap_weight(p);
+    if (!p.is_update && !p.is_replica) w += class_of(p).weight;
     return w;
   };
   auto bundle_size = [&](const Pending& p) {
-    return cls.catalog.SetBytes(cls.FragmentsWithUpdates(class_of(p)));
+    return p.is_update ? index.update_bundle_bytes(p.index)
+                       : index.read_bundle_bytes(p.index);
   };
+  auto bundle_bits = [&](const Pending& p) -> const DenseBitset& {
+    return p.is_update ? index.update_bundle_bits(p.index)
+                       : index.read_bundle_bits(p.index);
+  };
+  DenseBitset row_scratch(cls.catalog.size());
 
   std::vector<double> current_load(n, 0.0);
   std::vector<double> scaled_load(n);
@@ -94,13 +102,11 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
                      [&](const Pending& a, const Pending& b) {
                        const double wa = (!a.is_update && !a.is_replica)
                                              ? rest_weight[a.index] +
-                                                   cls.OverlappingUpdateWeight(
-                                                       class_of(a))
+                                                   overlap_weight(a)
                                              : bundle_weight(a);
                        const double wb = (!b.is_update && !b.is_replica)
                                              ? rest_weight[b.index] +
-                                                   cls.OverlappingUpdateWeight(
-                                                       class_of(b))
+                                                   overlap_weight(b)
                                              : bundle_weight(b);
                        return wa * bundle_size(a) > wb * bundle_size(b);
                      });
@@ -132,18 +138,18 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
 
     // Differences (Lines 11-17); replicas must not land on a backend that
     // already holds the class (Line 12).
-    const FragmentSet bundle = cls.FragmentsWithUpdates(c);
+    const DenseBitset& bundle = bundle_bits(p);
     std::vector<double> difference(n);
     for (size_t b = 0; b < n; ++b) {
       const bool full = current_load[b] >= scaled_load[b] - eps;
-      const bool already_holds = p.is_replica && alloc.HoldsAll(b, c.fragments);
+      const bool already_holds =
+          p.is_replica && alloc.HoldsAllBits(b, class_bits(p));
       if (full || already_holds) {
         difference[b] = kInf;
       } else if (current_load[b] <= eps) {
         difference[b] = 0.0;
       } else {
-        difference[b] =
-            cls.catalog.SetBytes(SetDifference(bundle, alloc.BackendFragments(b)));
+        difference[b] = alloc.MissingBytes(b, bundle);
       }
     }
 
@@ -160,7 +166,7 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
       // not already holding the class (for replicas).
       double best = kInf;
       for (size_t b = 0; b < n; ++b) {
-        if (p.is_replica && alloc.HoldsAll(b, c.fragments)) continue;
+        if (p.is_replica && alloc.HoldsAllBits(b, class_bits(p))) continue;
         const double rel = current_load[b] / backends[b].relative_load;
         if (rel < best) {
           best = rel;
@@ -170,9 +176,9 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
       if (target == n) continue;  // Class already everywhere; nothing to add.
     }
 
-    alloc.PlaceSet(target, c.fragments);
-    const double added_updates =
-        alloc_internal::CloseUpdatesOnBackend(cls, target, &alloc);
+    alloc.PlaceBits(target, class_bits(p));
+    const double added_updates = alloc_internal::CloseUpdatesOnBackend(
+        cls, index, target, &alloc, &row_scratch);
     current_load[target] += added_updates;
 
     if (p.is_update || p.is_replica) {
@@ -212,7 +218,7 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
           replicas_added[r] = true;
           size_t holders = 0;
           for (size_t b = 0; b < n; ++b) {
-            if (alloc.HoldsAll(b, c.fragments)) ++holders;
+            if (alloc.HoldsAllBits(b, class_bits(p))) ++holders;
           }
           for (size_t copy = holders; copy < static_cast<size_t>(k) + 1;
                ++copy) {
@@ -241,7 +247,8 @@ Result<Allocation> KSafeGreedyAllocator::Allocate(
       }
       if (target == n) break;  // Already everywhere.
       alloc.Place(target, f);
-      alloc_internal::CloseUpdatesOnBackend(cls, target, &alloc);
+      alloc_internal::CloseUpdatesOnBackend(cls, index, target, &alloc,
+                                            &row_scratch);
     }
   }
 

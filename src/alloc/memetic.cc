@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "alloc/greedy.h"
+#include "alloc/search_kernel.h"
 #include "cluster/stats.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -14,94 +15,51 @@ namespace qcap {
 
 namespace {
 
-/// Solution cost: lexicographic (scale, stored bytes). Lower is better.
-struct Cost {
-  double scale = 0.0;
-  double bytes = 0.0;
-
-  bool Better(const Cost& other) const {
-    if (scale < other.scale - 1e-9) return true;
-    if (scale > other.scale + 1e-9) return false;
-    return bytes < other.bytes - 1e-6;
-  }
-};
+using alloc_internal::SearchKernel;
+using alloc_internal::SolutionCost;
 
 struct Member {
   Allocation alloc;
-  Cost cost;
+  SolutionCost cost;
 };
 
 /// One island: an independent subpopulation with its own RNG stream
 /// (`opts.seed + island_id`). All mutation/selection state is confined to
 /// the island, so islands can evolve on different pool workers without
 /// synchronization; they interact only at the serial migration barrier run
-/// by the coordinator between epochs.
+/// by the coordinator between epochs. Each island owns a SearchKernel (and
+/// therefore its own scratch buffers) over the shared read-only
+/// ClassificationIndex.
 class Evolver {
  public:
-  Evolver(const Classification& cls, const std::vector<BackendSpec>& backends,
-          const MemeticOptions& opts, uint64_t island_id)
+  Evolver(const Classification& cls, const ClassificationIndex& index,
+          const std::vector<BackendSpec>& backends, const MemeticOptions& opts,
+          uint64_t island_id)
       : cls_(cls),
-        backends_(backends),
+        index_(index),
         opts_(opts),
+        kernel_(cls, index, backends, opts.progress),
         rng_(opts.seed + island_id) {}
 
-  Cost Evaluate(const Allocation& a) const {
-    if (opts_.progress != nullptr) {
-      opts_.progress->evaluations.fetch_add(1, std::memory_order_relaxed);
-    }
-    double stored = 0.0;
-    for (size_t b = 0; b < a.num_backends(); ++b) {
-      stored += a.BackendBytes(b, cls_.catalog);
-    }
-    Cost cost{Scale(a, backends_), stored};
-    if (opts_.progress != nullptr) opts_.progress->RecordScale(cost.scale);
-    return cost;
-  }
+  SolutionCost Evaluate(const Allocation& a) const { return kernel_.Evaluate(a); }
 
   /// Drops every fragment a backend no longer needs for its assigned read
   /// classes (and the update classes forced by what remains), then restores
-  /// global data completeness.
-  void GarbageCollect(Allocation* a) const {
-    for (size_t b = 0; b < a->num_backends(); ++b) {
-      FragmentSet needed;
-      for (size_t r = 0; r < cls_.reads.size(); ++r) {
-        if (a->read_assign(b, r) > 1e-15) {
-          needed = SetUnion(needed, cls_.reads[r].fragments);
-        }
-      }
-      // Fixpoint: update classes overlapping the needed set stay, and keep
-      // their full fragment sets.
-      bool changed = true;
-      std::vector<bool> keep_update(cls_.updates.size(), false);
-      while (changed) {
-        changed = false;
-        for (size_t u = 0; u < cls_.updates.size(); ++u) {
-          if (keep_update[u]) continue;
-          if (Intersects(cls_.updates[u].fragments, needed)) {
-            keep_update[u] = true;
-            needed = SetUnion(needed, cls_.updates[u].fragments);
-            changed = true;
-          }
-        }
-      }
-      // Allocation exposes no per-fragment removal, so the shrink happens
-      // by rebuilding this backend's whole row from `needed`.
-      RebuildBackendRow(a, b, needed, keep_update);
-    }
-    alloc_internal::PlaceOrphanFragments(cls_, a);
-  }
+  /// global data completeness. Edits rows in place via the precomputed
+  /// per-read update closures; no allocation rebuild, no O(U²) fixpoint.
+  void GarbageCollect(Allocation* a) { kernel_.GarbageCollect(a); }
 
   Allocation Mutate(const Allocation& parent) {
     Allocation child = parent;
     // Move one random (class, backend) read share to another backend.
-    std::vector<std::pair<size_t, size_t>> positive;  // (read class, backend)
+    positive_.clear();  // (read class, backend)
     for (size_t r = 0; r < cls_.reads.size(); ++r) {
       for (size_t b = 0; b < child.num_backends(); ++b) {
-        if (child.read_assign(b, r) > 1e-12) positive.emplace_back(r, b);
+        if (child.read_assign(b, r) > 1e-12) positive_.emplace_back(r, b);
       }
     }
-    if (positive.empty() || child.num_backends() < 2) return child;
-    const auto [r, b1] = positive[rng_.NextBounded(positive.size())];
+    if (positive_.empty() || child.num_backends() < 2) return child;
+    const auto [r, b1] = positive_[rng_.NextBounded(positive_.size())];
     size_t b2 = static_cast<size_t>(rng_.NextBounded(child.num_backends() - 1));
     if (b2 >= b1) ++b2;
     const double have = child.read_assign(b1, r);
@@ -109,45 +67,57 @@ class Evolver {
         rng_.NextBernoulli(0.5) ? have : have * rng_.NextDouble(0.25, 1.0);
     child.add_read_assign(b1, r, -share);
     child.add_read_assign(b2, r, share);
-    child.PlaceSet(b2, cls_.reads[r].fragments);
-    alloc_internal::CloseUpdatesOnBackend(cls_, b2, &child);
-    GarbageCollect(&child);
+    child.PlaceBits(b2, index_.read_bits(r));
+    kernel_.CloseUpdates(&child, b2);
+    // The parent is garbage-collected (population invariant), so only the
+    // two modified rows can hold junk.
+    const size_t touched[2] = {b1, b2};
+    kernel_.GarbageCollectBackends(&child, touched, 2, &touched_);
     return child;
   }
 
   /// Local search strategy 1 (Eq. 21/22): consolidate pairs of read classes
   /// that are split across the same two backends but drag different update
-  /// sets, freeing update replicas.
-  bool ImproveSharedPairs(Allocation* a) const {
-    const Cost before = Evaluate(*a);
+  /// sets, freeing update replicas. The `before` cost is computed lazily,
+  /// only once a candidate pair actually exists; each trial reuses the
+  /// scratch allocation and is scored via the O(|touched|) delta form.
+  bool ImproveSharedPairs(Allocation* a) {
+    bool have_before = false;
+    SolutionCost before;
     for (size_t b1 = 0; b1 < a->num_backends(); ++b1) {
       for (size_t b2 = b1 + 1; b2 < a->num_backends(); ++b2) {
-        std::vector<size_t> shared;
+        shared_.clear();
         for (size_t r = 0; r < cls_.reads.size(); ++r) {
           if (a->read_assign(b1, r) > 1e-12 && a->read_assign(b2, r) > 1e-12) {
-            shared.push_back(r);
+            shared_.push_back(r);
           }
         }
-        if (shared.size() < 2) continue;
-        for (size_t i = 0; i < shared.size(); ++i) {
-          for (size_t j = 0; j < shared.size(); ++j) {
+        if (shared_.size() < 2) continue;
+        for (size_t i = 0; i < shared_.size(); ++i) {
+          for (size_t j = 0; j < shared_.size(); ++j) {
             if (i == j) continue;
-            const size_t r1 = shared[i], r2 = shared[j];
-            if (cls_.OverlappingUpdates(cls_.reads[r1]) ==
-                cls_.OverlappingUpdates(cls_.reads[r2])) {
+            const size_t r1 = shared_[i], r2 = shared_[j];
+            if (index_.read_overlapping_updates(r1) ==
+                index_.read_overlapping_updates(r2)) {
               continue;
             }
             const double delta =
                 std::min(a->read_assign(b2, r1), a->read_assign(b1, r2));
             if (delta <= 1e-12) continue;
-            Allocation trial = *a;
-            trial.add_read_assign(b2, r1, -delta);
-            trial.add_read_assign(b1, r1, delta);
-            trial.add_read_assign(b1, r2, -delta);
-            trial.add_read_assign(b2, r2, delta);
-            GarbageCollect(&trial);
-            if (Evaluate(trial).Better(before)) {
-              *a = std::move(trial);
+            if (!have_before) {
+              before = kernel_.Evaluate(*a);
+              kernel_.BeginDelta(*a, before);
+              have_before = true;
+            }
+            trial_ = *a;
+            trial_.add_read_assign(b2, r1, -delta);
+            trial_.add_read_assign(b1, r1, delta);
+            trial_.add_read_assign(b1, r2, -delta);
+            trial_.add_read_assign(b2, r2, delta);
+            const size_t touched[2] = {b1, b2};
+            kernel_.GarbageCollectBackends(&trial_, touched, 2, &touched_);
+            if (kernel_.EvaluateDelta(trial_, touched_).Better(before)) {
+              *a = trial_;
               RecordImprovement();
               return true;
             }
@@ -161,35 +131,42 @@ class Evolver {
   /// Local search strategy 2 (Eq. 23-26): evacuate the read load that pins a
   /// replicated (heavy) update class on one backend over to another backend
   /// already carrying the class, trading lighter replication for it.
-  bool ImproveUpdateReplicas(Allocation* a) const {
-    const Cost before = Evaluate(*a);
+  bool ImproveUpdateReplicas(Allocation* a) {
+    bool have_before = false;
+    SolutionCost before;
     for (size_t u = 0; u < cls_.updates.size(); ++u) {
-      std::vector<size_t> holders;
+      holders_.clear();
       for (size_t b = 0; b < a->num_backends(); ++b) {
-        if (a->update_assign(b, u) > 1e-12) holders.push_back(b);
+        if (a->update_assign(b, u) > 1e-12) holders_.push_back(b);
       }
-      if (holders.size() < 2) continue;
-      for (size_t b1 : holders) {
-        for (size_t b2 : holders) {
+      if (holders_.size() < 2) continue;
+      for (size_t b1 : holders_) {
+        for (size_t b2 : holders_) {
           if (b1 == b2) continue;
-          Allocation trial = *a;
+          if (!have_before) {
+            before = kernel_.Evaluate(*a);
+            kernel_.BeginDelta(*a, before);
+            have_before = true;
+          }
+          trial_ = *a;
           bool moved = false;
           for (size_t r = 0; r < cls_.reads.size(); ++r) {
-            if (trial.read_assign(b1, r) <= 1e-12) continue;
-            if (!Intersects(cls_.reads[r].fragments, cls_.updates[u].fragments)) {
+            if (trial_.read_assign(b1, r) <= 1e-12) continue;
+            if (!Intersects(index_.read_bits(r), index_.update_bits(u))) {
               continue;
             }
-            const double w = trial.read_assign(b1, r);
-            trial.add_read_assign(b1, r, -w);
-            trial.add_read_assign(b2, r, w);
-            trial.PlaceSet(b2, cls_.reads[r].fragments);
-            alloc_internal::CloseUpdatesOnBackend(cls_, b2, &trial);
+            const double w = trial_.read_assign(b1, r);
+            trial_.add_read_assign(b1, r, -w);
+            trial_.add_read_assign(b2, r, w);
+            trial_.PlaceBits(b2, index_.read_bits(r));
+            kernel_.CloseUpdates(&trial_, b2);
             moved = true;
           }
           if (!moved) continue;
-          GarbageCollect(&trial);
-          if (Evaluate(trial).Better(before)) {
-            *a = std::move(trial);
+          const size_t touched[2] = {b1, b2};
+          kernel_.GarbageCollectBackends(&trial_, touched, 2, &touched_);
+          if (kernel_.EvaluateDelta(trial_, touched_).Better(before)) {
+            *a = trial_;
             RecordImprovement();
             return true;
           }
@@ -199,7 +176,7 @@ class Evolver {
     return false;
   }
 
-  void LocalImprove(Allocation* a) const {
+  void LocalImprove(Allocation* a) {
     for (size_t pass = 0; pass < opts_.improve_passes; ++pass) {
       const bool improved = ImproveSharedPairs(a) || ImproveUpdateReplicas(a);
       if (!improved) break;
@@ -223,7 +200,7 @@ class Evolver {
             (*population)[rng_.NextBounded(population->size())];
         kids.push_back(Mutate(parent.alloc));
       }
-      std::vector<Cost> costs(p);
+      std::vector<SolutionCost> costs(p);
       ParallelFor(pool, p,
                   [&](size_t i) { costs[i] = Evaluate(kids[i]); });
       std::vector<Member> offspring;
@@ -232,14 +209,20 @@ class Evolver {
         offspring.push_back(Member{std::move(kids[i]), costs[i]});
       }
       // (λ+µ) selection: best 2/3 of parents + best 1/3 of offspring.
+      // Selection only consumes the kept prefix, so a partial sort to that
+      // prefix replaces the two full sorts.
       auto by_cost = [](const Member& x, const Member& y) {
         return x.cost.Better(y.cost);
       };
-      std::sort(population->begin(), population->end(), by_cost);
-      std::sort(offspring.begin(), offspring.end(), by_cost);
-      std::vector<Member> next;
       const size_t keep_parents = std::min(population->size(), 2 * p / 3);
       const size_t keep_children = std::min(offspring.size(), p - keep_parents);
+      std::partial_sort(population->begin(),
+                        population->begin() + keep_parents, population->end(),
+                        by_cost);
+      std::partial_sort(offspring.begin(), offspring.begin() + keep_children,
+                        offspring.end(), by_cost);
+      std::vector<Member> next;
+      next.reserve(keep_parents + keep_children);
       for (size_t i = 0; i < keep_parents; ++i) {
         next.push_back(std::move((*population)[i]));
       }
@@ -267,39 +250,19 @@ class Evolver {
     }
   }
 
-  void RebuildBackendRow(Allocation* a, size_t b, const FragmentSet& needed,
-                         const std::vector<bool>& keep_update) const {
-    // Allocation exposes no removal, so rebuild the whole structure with
-    // this backend's row replaced. Cheap at our problem sizes.
-    Allocation fresh(a->num_backends(), a->num_fragments(), a->num_reads(),
-                     a->num_updates());
-    for (size_t bb = 0; bb < a->num_backends(); ++bb) {
-      if (bb == b) {
-        fresh.PlaceSet(bb, needed);
-        for (size_t r = 0; r < a->num_reads(); ++r) {
-          fresh.set_read_assign(bb, r, a->read_assign(bb, r));
-        }
-        for (size_t u = 0; u < a->num_updates(); ++u) {
-          fresh.set_update_assign(
-              bb, u, keep_update[u] ? cls_.updates[u].weight : 0.0);
-        }
-      } else {
-        fresh.PlaceSet(bb, a->BackendFragments(bb));
-        for (size_t r = 0; r < a->num_reads(); ++r) {
-          fresh.set_read_assign(bb, r, a->read_assign(bb, r));
-        }
-        for (size_t u = 0; u < a->num_updates(); ++u) {
-          fresh.set_update_assign(bb, u, a->update_assign(bb, u));
-        }
-      }
-    }
-    *a = std::move(fresh);
-  }
-
   const Classification& cls_;
-  const std::vector<BackendSpec>& backends_;
+  const ClassificationIndex& index_;
   const MemeticOptions& opts_;
+  SearchKernel kernel_;
   Rng rng_;
+
+  // Reused scratch: candidate lists and the trial allocation. Copy-assigning
+  // into trial_ reuses its buffers, so rejected trials cost no allocation.
+  std::vector<std::pair<size_t, size_t>> positive_;
+  std::vector<size_t> shared_;
+  std::vector<size_t> holders_;
+  std::vector<size_t> touched_;
+  Allocation trial_;
 };
 
 /// Coordinates the islands: epochs of independent evolution (parallel over
@@ -308,7 +271,7 @@ class Evolver {
 /// fully evolved island states — thread count never changes the result.
 class IslandModel {
  public:
-  IslandModel(const Classification& cls,
+  IslandModel(const Classification& cls, const ClassificationIndex& index,
               const std::vector<BackendSpec>& backends,
               const MemeticOptions& opts)
       : opts_(opts) {
@@ -317,8 +280,8 @@ class IslandModel {
         std::max<size_t>(3, opts.population_size / n);
     evolvers_.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      evolvers_.push_back(
-          std::make_unique<Evolver>(cls, backends, opts, /*island_id=*/i));
+      evolvers_.push_back(std::make_unique<Evolver>(cls, index, backends, opts,
+                                                    /*island_id=*/i));
     }
     populations_.resize(n);
   }
@@ -413,8 +376,18 @@ Result<Allocation> MemeticAllocator::Improve(
       pool = owned.get();
     }
   }
-  IslandModel model(cls, backends, options_);
-  return model.Run(seed_allocation, pool);
+  const ClassificationIndex index(cls);
+  // Bind fragment sizes (O(1) cost accounting) and garbage-collect the seed
+  // once: every population member descends from it, and the search assumes
+  // members are collected so trials only need to re-collect touched rows.
+  Allocation seed = seed_allocation;
+  if (!seed.sizes_bound()) seed.BindSizes(cls.catalog);
+  {
+    SearchKernel kernel(cls, index, backends, options_.progress);
+    kernel.GarbageCollect(&seed);
+  }
+  IslandModel model(cls, index, backends, options_);
+  return model.Run(seed, pool);
 }
 
 }  // namespace qcap

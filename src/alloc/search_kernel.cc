@@ -1,0 +1,169 @@
+#include "alloc/search_kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "alloc/allocator.h"
+#include "cluster/stats.h"
+
+namespace qcap::alloc_internal {
+
+namespace {
+
+bool ContainsBackend(const std::vector<size_t>& list, size_t b) {
+  for (size_t x : list) {
+    if (x == b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SearchKernel::SearchKernel(const Classification& cls,
+                           const ClassificationIndex& index,
+                           const std::vector<BackendSpec>& backends,
+                           SearchProgress* progress)
+    : cls_(cls), index_(index), backends_(backends), progress_(progress) {
+  needed_.Reset(cls.catalog.size());
+  keep_updates_.Reset(cls.updates.size());
+  row_scratch_.Reset(cls.catalog.size());
+  base_norm_.resize(backends.size());
+  base_bytes_.resize(backends.size());
+}
+
+SolutionCost SearchKernel::Evaluate(const Allocation& a) const {
+  assert(a.sizes_bound());
+  if (progress_ != nullptr) {
+    progress_->evaluations.fetch_add(1, std::memory_order_relaxed);
+  }
+  double stored = 0.0;
+  double scale = 1.0;
+  for (size_t b = 0; b < a.num_backends(); ++b) {
+    stored += a.BackendBytes(b, cls_.catalog);
+    scale = std::max(scale, a.AssignedLoad(b) / backends_[b].relative_load);
+  }
+  SolutionCost cost{scale, stored};
+  if (progress_ != nullptr) progress_->RecordScale(cost.scale);
+  return cost;
+}
+
+void SearchKernel::CollectBackend(Allocation* a, size_t b) {
+  // needed = ∪ closure_fragments(r) over reads with positive share; the
+  // update pins are the union of the corresponding precomputed closures.
+  // Reachability distributes over unions, so this equals the per-backend
+  // O(U²) fixpoint the pre-index GarbageCollect ran.
+  needed_.ClearAll();
+  keep_updates_.ClearAll();
+  for (size_t r = 0; r < cls_.reads.size(); ++r) {
+    if (a->read_assign(b, r) > 1e-15) {
+      needed_.UnionWith(index_.read_closure_fragments(r));
+      keep_updates_.UnionWith(index_.read_closure_updates(r));
+    }
+  }
+  a->RetainFragments(b, needed_);
+  a->PlaceBits(b, needed_);
+  for (size_t u = 0; u < cls_.updates.size(); ++u) {
+    a->set_update_assign(b, u,
+                         keep_updates_.Test(u) ? cls_.updates[u].weight : 0.0);
+  }
+}
+
+void SearchKernel::GarbageCollect(Allocation* a) {
+  for (size_t b = 0; b < a->num_backends(); ++b) CollectBackend(a, b);
+  PlaceOrphans(a, nullptr);
+}
+
+void SearchKernel::GarbageCollectBackends(Allocation* a, const size_t* bs,
+                                          size_t count,
+                                          std::vector<size_t>* touched) {
+  touched->clear();
+  for (size_t i = 0; i < count; ++i) {
+    CollectBackend(a, bs[i]);
+    if (!ContainsBackend(*touched, bs[i])) touched->push_back(bs[i]);
+  }
+  PlaceOrphans(a, touched);
+}
+
+void SearchKernel::PlaceOrphans(Allocation* a, std::vector<size_t>* touched) {
+  for (FragmentId f = 0; f < a->num_fragments(); ++f) {
+    if (a->ReplicaCount(f) > 0) continue;
+    size_t target = 0;
+    double target_bytes = std::numeric_limits<double>::infinity();
+    for (size_t b = 0; b < a->num_backends(); ++b) {
+      const double bytes = a->BackendBytes(b, cls_.catalog);
+      if (bytes < target_bytes) {
+        target_bytes = bytes;
+        target = b;
+      }
+    }
+    a->Place(target, f);
+    if (index_.fragment_updated(f)) CloseUpdates(a, target);
+    if (touched != nullptr && !ContainsBackend(*touched, target)) {
+      touched->push_back(target);
+    }
+  }
+}
+
+double SearchKernel::CloseUpdates(Allocation* a, size_t b) {
+  return CloseUpdatesOnBackend(cls_, index_, b, a, &row_scratch_);
+}
+
+void SearchKernel::BeginDelta(const Allocation& base, SolutionCost base_cost) {
+  const size_t n = base.num_backends();
+  base_bytes_total_ = base_cost.bytes;
+  for (size_t b = 0; b < n; ++b) {
+    base_norm_[b] = base.AssignedLoad(b) / backends_[b].relative_load;
+    base_bytes_[b] = base.BackendBytes(b, cls_.catalog);
+  }
+  // Top-3 loaded backends: EvaluateDelta needs the max base load over the
+  // untouched backends, and trials touch 2 backends plus the occasional
+  // orphan target, so three candidates almost always suffice.
+  top_count_ = 0;
+  for (size_t b = 0; b < n; ++b) {
+    const double v = base_norm_[b];
+    size_t k = top_count_ < 3 ? top_count_ : 3;
+    while (k > 0 && v > top_val_[k - 1]) --k;
+    if (k >= 3) continue;
+    for (size_t j = std::min<size_t>(top_count_, 2); j > k; --j) {
+      top_val_[j] = top_val_[j - 1];
+      top_idx_[j] = top_idx_[j - 1];
+    }
+    top_val_[k] = v;
+    top_idx_[k] = b;
+    if (top_count_ < 3) ++top_count_;
+  }
+}
+
+SolutionCost SearchKernel::EvaluateDelta(
+    const Allocation& trial, const std::vector<size_t>& touched) const {
+  if (progress_ != nullptr) {
+    progress_->evaluations.fetch_add(1, std::memory_order_relaxed);
+  }
+  double bytes = base_bytes_total_;
+  double scale = 1.0;
+  for (size_t b : touched) {
+    bytes += trial.BackendBytes(b, cls_.catalog) - base_bytes_[b];
+    scale = std::max(scale,
+                     trial.AssignedLoad(b) / backends_[b].relative_load);
+  }
+  bool found = false;
+  for (size_t k = 0; k < top_count_; ++k) {
+    if (!ContainsBackend(touched, top_idx_[k])) {
+      scale = std::max(scale, top_val_[k]);
+      found = true;
+      break;
+    }
+  }
+  if (!found && trial.num_backends() > touched.size()) {
+    // Every cached top backend was touched: one fallback scan.
+    for (size_t b = 0; b < trial.num_backends(); ++b) {
+      if (!ContainsBackend(touched, b)) scale = std::max(scale, base_norm_[b]);
+    }
+  }
+  SolutionCost cost{scale, bytes};
+  if (progress_ != nullptr) progress_->RecordScale(cost.scale);
+  return cost;
+}
+
+}  // namespace qcap::alloc_internal

@@ -1,0 +1,111 @@
+// Incremental cost accounting for the allocation-search hot path.
+//
+// SearchKernel bundles the scratch buffers and precomputed indexes the
+// memetic search (and any future local-search allocator) needs to score and
+// repair candidate allocations without rescanning the whole allocation:
+//  - Evaluate reads the Allocation's running aggregates: O(B) instead of
+//    O(B·(R+U)) load sums + O(B·F) byte sums,
+//  - GarbageCollect edits each backend's row in place using the index's
+//    per-read update closures: O(B·(R·F/64 + U)) instead of rebuilding all
+//    B rows per backend (O(B²·(F+R+U))) with an O(U²) fixpoint each,
+//  - BeginDelta/EvaluateDelta score a trial that differs from a base
+//    allocation on a few backends in O(|touched|),
+// and none of it heap-allocates on the steady-state path (scratch is sized
+// on first use and reused).
+//
+// A kernel instance is NOT thread-safe (it owns scratch); give each search
+// thread / island its own kernel over the same shared ClassificationIndex.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/allocation.h"
+#include "model/backend.h"
+#include "workload/query_class.h"
+
+namespace qcap {
+
+struct SearchProgress;  // cluster/stats.h
+
+namespace alloc_internal {
+
+/// Solution cost: lexicographic (scale, stored bytes). Lower is better.
+struct SolutionCost {
+  double scale = 0.0;
+  double bytes = 0.0;
+
+  bool Better(const SolutionCost& other) const {
+    if (scale < other.scale - 1e-9) return true;
+    if (scale > other.scale + 1e-9) return false;
+    return bytes < other.bytes - 1e-6;
+  }
+};
+
+class SearchKernel {
+ public:
+  /// \p progress may be null; when set, Evaluate/EvaluateDelta maintain its
+  /// counters exactly like the pre-index full evaluation did.
+  SearchKernel(const Classification& cls, const ClassificationIndex& index,
+               const std::vector<BackendSpec>& backends,
+               SearchProgress* progress = nullptr);
+
+  /// Full cost of \p a from the running aggregates. O(B). Requires bound
+  /// fragment sizes (Allocation::BindSizes).
+  SolutionCost Evaluate(const Allocation& a) const;
+
+  /// Garbage-collects every backend: drops fragments not needed by the
+  /// backend's positive read assignments (or the update closure they force),
+  /// re-pins update classes, then restores data completeness.
+  void GarbageCollect(Allocation* a);
+
+  /// Garbage-collects only backends [begin, end) of \p bs. \p touched is
+  /// cleared and receives every backend whose row or load was modified or
+  /// inspected for the trial's cost delta: the given backends plus any
+  /// orphan-placement targets.
+  void GarbageCollectBackends(Allocation* a, const size_t* bs, size_t count,
+                              std::vector<size_t>* touched);
+
+  /// Caches \p base's per-backend costs so subsequent EvaluateDelta calls
+  /// can score trials against it in O(|touched|). \p base must stay
+  /// unchanged until the next BeginDelta.
+  void BeginDelta(const Allocation& base, SolutionCost base_cost);
+
+  /// Cost of \p trial, which differs from the BeginDelta base only on the
+  /// backends in \p touched. O(|touched|) in the common case (falls back to
+  /// one O(B) scan when every top-loaded base backend was touched).
+  SolutionCost EvaluateDelta(const Allocation& trial,
+                             const std::vector<size_t>& touched) const;
+
+  /// Index-accelerated update-closure fixpoint (identical semantics and
+  /// accumulation order as alloc_internal::CloseUpdatesOnBackend).
+  double CloseUpdates(Allocation* a, size_t b);
+
+ private:
+  void CollectBackend(Allocation* a, size_t b);
+  /// Restores data completeness like alloc_internal::PlaceOrphanFragments
+  /// (same target choice), recording modified backends in \p touched when
+  /// non-null.
+  void PlaceOrphans(Allocation* a, std::vector<size_t>* touched);
+
+  const Classification& cls_;
+  const ClassificationIndex& index_;
+  const std::vector<BackendSpec>& backends_;
+  SearchProgress* progress_;
+
+  // Scratch (sized on first use, then reused — no steady-state allocation).
+  DenseBitset needed_;
+  DenseBitset keep_updates_;
+  DenseBitset row_scratch_;
+
+  // Delta-evaluation cache of the base allocation.
+  std::vector<double> base_norm_;   // AssignedLoad / relative_load
+  std::vector<double> base_bytes_;  // BackendBytes
+  double base_bytes_total_ = 0.0;
+  size_t top_count_ = 0;      // Valid entries in top_*.
+  size_t top_idx_[3] = {};    // Most-loaded base backends, descending.
+  double top_val_[3] = {};
+};
+
+}  // namespace alloc_internal
+}  // namespace qcap

@@ -12,30 +12,124 @@ Allocation::Allocation(size_t num_backends, size_t num_fragments,
       num_fragments_(num_fragments),
       num_reads_(num_reads),
       num_updates_(num_updates),
-      placed_(num_backends * num_fragments, 0),
+      words_per_backend_((num_fragments + 63) / 64),
+      placed_(num_backends * words_per_backend_, 0),
       read_assign_(num_backends * num_reads, 0.0),
-      update_assign_(num_backends * num_updates, 0.0) {}
+      update_assign_(num_backends * num_updates, 0.0),
+      read_load_(num_backends, 0.0),
+      update_load_(num_backends, 0.0),
+      replica_count_(num_fragments, 0) {}
+
+Allocation::Allocation(size_t num_backends, const FragmentCatalog& catalog,
+                       size_t num_reads, size_t num_updates)
+    : Allocation(num_backends, catalog.size(), num_reads, num_updates) {
+  BindSizes(catalog);
+}
+
+void Allocation::BindSizes(const FragmentCatalog& catalog) {
+  assert(catalog.size() == num_fragments_);
+  auto sizes = std::make_shared<std::vector<double>>();
+  sizes->reserve(num_fragments_);
+  for (const Fragment& f : catalog.fragments()) sizes->push_back(f.size_bytes);
+  frag_bytes_ = std::move(sizes);
+  // Recompute the per-backend byte aggregates from scratch (ascending
+  // fragment id, matching the unbound scan order).
+  bytes_.assign(num_backends_, 0.0);
+  for (size_t b = 0; b < num_backends_; ++b) {
+    for (FragmentId f = 0; f < num_fragments_; ++f) {
+      if (IsPlaced(b, f)) bytes_[b] += frag_size(f);
+    }
+  }
+}
 
 void Allocation::Place(size_t b, FragmentId f) {
   assert(b < num_backends_ && f < num_fragments_);
-  placed_[b * num_fragments_ + f] = 1;
+  uint64_t& word = row(b)[f >> 6];
+  const uint64_t bit = uint64_t{1} << (f & 63);
+  if ((word & bit) != 0) return;
+  word |= bit;
+  ++replica_count_[f];
+  if (frag_bytes_ != nullptr) bytes_[b] += frag_size(f);
 }
 
 void Allocation::PlaceSet(size_t b, const FragmentSet& set) {
   for (FragmentId f : set) Place(b, f);
 }
 
+void Allocation::PlaceBits(size_t b, const DenseBitset& bits) {
+  assert(bits.num_bits() == num_fragments_);
+  uint64_t* r = row(b);
+  for (size_t w = 0; w < words_per_backend_; ++w) {
+    uint64_t added = bits.words()[w] & ~r[w];
+    while (added != 0) {
+      const FragmentId f =
+          static_cast<FragmentId>(w * 64 + __builtin_ctzll(added));
+      ++replica_count_[f];
+      if (frag_bytes_ != nullptr) bytes_[b] += frag_size(f);
+      added &= added - 1;
+    }
+    r[w] |= bits.words()[w];
+  }
+}
+
+void Allocation::RetainFragments(size_t b, const DenseBitset& keep) {
+  assert(keep.num_bits() == num_fragments_);
+  uint64_t* r = row(b);
+  for (size_t w = 0; w < words_per_backend_; ++w) {
+    uint64_t removed = r[w] & ~keep.words()[w];
+    while (removed != 0) {
+      const FragmentId f =
+          static_cast<FragmentId>(w * 64 + __builtin_ctzll(removed));
+      --replica_count_[f];
+      if (frag_bytes_ != nullptr) bytes_[b] -= frag_size(f);
+      removed &= removed - 1;
+    }
+    r[w] &= keep.words()[w];
+  }
+}
+
+void Allocation::ClearBackendRow(size_t b) {
+  assert(b < num_backends_);
+  uint64_t* r = row(b);
+  for (size_t w = 0; w < words_per_backend_; ++w) {
+    uint64_t removed = r[w];
+    while (removed != 0) {
+      --replica_count_[w * 64 + __builtin_ctzll(removed)];
+      removed &= removed - 1;
+    }
+    r[w] = 0;
+  }
+  for (size_t c = 0; c < num_reads_; ++c) read_assign_[b * num_reads_ + c] = 0.0;
+  for (size_t c = 0; c < num_updates_; ++c) {
+    update_assign_[b * num_updates_ + c] = 0.0;
+  }
+  // Exact reset: clearing a row is the one mutation that zeroes the
+  // backend's aggregates outright instead of subtracting deltas.
+  read_load_[b] = 0.0;
+  update_load_[b] = 0.0;
+  if (frag_bytes_ != nullptr) bytes_[b] = 0.0;
+}
+
 bool Allocation::IsPlaced(size_t b, FragmentId f) const {
   assert(b < num_backends_ && f < num_fragments_);
-  return placed_[b * num_fragments_ + f] != 0;
+  return (row(b)[f >> 6] >> (f & 63)) & uint64_t{1};
 }
 
 FragmentSet Allocation::BackendFragments(size_t b) const {
   FragmentSet out;
-  for (FragmentId f = 0; f < num_fragments_; ++f) {
-    if (IsPlaced(b, f)) out.push_back(f);
+  const uint64_t* r = row(b);
+  for (size_t w = 0; w < words_per_backend_; ++w) {
+    uint64_t bits = r[w];
+    while (bits != 0) {
+      out.push_back(static_cast<FragmentId>(w * 64 + __builtin_ctzll(bits)));
+      bits &= bits - 1;
+    }
   }
   return out;
+}
+
+void Allocation::SnapshotRow(size_t b, DenseBitset* out) const {
+  out->AssignWords(row(b), words_per_backend_, num_fragments_);
 }
 
 bool Allocation::HoldsAll(size_t b, const FragmentSet& set) const {
@@ -45,18 +139,53 @@ bool Allocation::HoldsAll(size_t b, const FragmentSet& set) const {
   return true;
 }
 
-size_t Allocation::ReplicaCount(FragmentId f) const {
-  size_t count = 0;
-  for (size_t b = 0; b < num_backends_; ++b) {
-    if (IsPlaced(b, f)) ++count;
+bool Allocation::HoldsAllBits(size_t b, const DenseBitset& set) const {
+  assert(set.num_bits() == num_fragments_);
+  const uint64_t* r = row(b);
+  for (size_t w = 0; w < words_per_backend_; ++w) {
+    if ((set.words()[w] & ~r[w]) != 0) return false;
   }
-  return count;
+  return true;
+}
+
+bool Allocation::RowIntersects(size_t b, const DenseBitset& set) const {
+  assert(set.num_bits() == num_fragments_);
+  const uint64_t* r = row(b);
+  for (size_t w = 0; w < words_per_backend_; ++w) {
+    if ((set.words()[w] & r[w]) != 0) return true;
+  }
+  return false;
+}
+
+size_t Allocation::ReplicaCount(FragmentId f) const {
+  assert(f < num_fragments_);
+  return replica_count_[f];
 }
 
 double Allocation::BackendBytes(size_t b, const FragmentCatalog& catalog) const {
+  if (frag_bytes_ != nullptr) {
+    assert(catalog.size() == num_fragments_);
+    (void)catalog;
+    return bytes_[b];
+  }
   double total = 0.0;
   for (FragmentId f = 0; f < num_fragments_; ++f) {
     if (IsPlaced(b, f)) total += catalog.Get(f).size_bytes;
+  }
+  return total;
+}
+
+double Allocation::MissingBytes(size_t b, const DenseBitset& want) const {
+  assert(frag_bytes_ != nullptr && want.num_bits() == num_fragments_);
+  const uint64_t* r = row(b);
+  double total = 0.0;
+  for (size_t w = 0; w < words_per_backend_; ++w) {
+    uint64_t missing = want.words()[w] & ~r[w];
+    while (missing != 0) {
+      total += frag_size(
+          static_cast<FragmentId>(w * 64 + __builtin_ctzll(missing)));
+      missing &= missing - 1;
+    }
   }
   return total;
 }
@@ -68,12 +197,15 @@ double Allocation::read_assign(size_t b, size_t read_class) const {
 
 void Allocation::set_read_assign(size_t b, size_t read_class, double value) {
   assert(b < num_backends_ && read_class < num_reads_);
-  read_assign_[b * num_reads_ + read_class] = value;
+  double& slot = read_assign_[b * num_reads_ + read_class];
+  read_load_[b] += value - slot;
+  slot = value;
 }
 
 void Allocation::add_read_assign(size_t b, size_t read_class, double delta) {
   assert(b < num_backends_ && read_class < num_reads_);
   read_assign_[b * num_reads_ + read_class] += delta;
+  read_load_[b] += delta;
 }
 
 double Allocation::update_assign(size_t b, size_t update_class) const {
@@ -83,7 +215,9 @@ double Allocation::update_assign(size_t b, size_t update_class) const {
 
 void Allocation::set_update_assign(size_t b, size_t update_class, double value) {
   assert(b < num_backends_ && update_class < num_updates_);
-  update_assign_[b * num_updates_ + update_class] = value;
+  double& slot = update_assign_[b * num_updates_ + update_class];
+  update_load_[b] += value - slot;
+  slot = value;
 }
 
 double Allocation::AssignedLoad(size_t b) const {
@@ -91,15 +225,13 @@ double Allocation::AssignedLoad(size_t b) const {
 }
 
 double Allocation::AssignedReadLoad(size_t b) const {
-  double total = 0.0;
-  for (size_t r = 0; r < num_reads_; ++r) total += read_assign(b, r);
-  return total;
+  assert(b < num_backends_);
+  return read_load_[b];
 }
 
 double Allocation::AssignedUpdateLoad(size_t b) const {
-  double total = 0.0;
-  for (size_t u = 0; u < num_updates_; ++u) total += update_assign(b, u);
-  return total;
+  assert(b < num_backends_);
+  return update_load_[b];
 }
 
 double Allocation::TotalReadAssign(size_t read_class) const {

@@ -1,9 +1,18 @@
 // The allocation data structure: which fragments live on which backend, and
 // how much of each query class's weight each backend handles (the assign
 // function of Eq. 8).
+//
+// Placement rows are stored as word-packed bitsets and every mutation keeps
+// per-backend running aggregates (assigned read/update load, stored bytes
+// when fragment sizes are bound, per-fragment replica counts) so the search
+// hot path reads Scale/BackendBytes/ReplicaCount in O(1) per backend instead
+// of rescanning the matrices. Aggregates are maintained incrementally with
+// exact deltas; they can drift from a from-scratch recompute by a few ulps
+// after long mutation sequences (the property tests pin the drift < 1e-9).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,10 +34,22 @@ class Allocation {
   Allocation(size_t num_backends, size_t num_fragments, size_t num_reads,
              size_t num_updates);
 
+  /// Same, but also binds the catalog's fragment sizes so per-backend byte
+  /// totals are maintained incrementally (BackendBytes becomes O(1)).
+  Allocation(size_t num_backends, const FragmentCatalog& catalog,
+             size_t num_reads, size_t num_updates);
+
   size_t num_backends() const { return num_backends_; }
   size_t num_fragments() const { return num_fragments_; }
   size_t num_reads() const { return num_reads_; }
   size_t num_updates() const { return num_updates_; }
+
+  /// Binds \p catalog's fragment sizes to this allocation (recomputing the
+  /// per-backend byte aggregates once); subsequent placement mutations keep
+  /// them current in O(1). Copies share the bound sizes.
+  void BindSizes(const FragmentCatalog& catalog);
+  /// True iff fragment sizes are bound (BackendBytes reads the aggregate).
+  bool sizes_bound() const { return frag_bytes_ != nullptr; }
 
   // --- Fragment placement (allocation matrix A) ---
 
@@ -36,16 +57,34 @@ class Allocation {
   void Place(size_t b, FragmentId f);
   /// Places every fragment of \p set on backend \p b.
   void PlaceSet(size_t b, const FragmentSet& set);
+  /// Places every fragment of \p bits on backend \p b.
+  void PlaceBits(size_t b, const DenseBitset& bits);
+  /// Removes every fragment of backend \p b that is not in \p keep.
+  void RetainFragments(size_t b, const DenseBitset& keep);
+  /// Empties backend \p b: no fragments, all assignments zero. Resets the
+  /// backend's aggregates exactly (no accumulated drift survives).
+  void ClearBackendRow(size_t b);
   /// True iff fragment \p f is on backend \p b.
   bool IsPlaced(size_t b, FragmentId f) const;
   /// fragments(B): the sorted fragment set of backend \p b.
   FragmentSet BackendFragments(size_t b) const;
+  /// Copies backend \p b's placement row into \p out (resized to fit).
+  void SnapshotRow(size_t b, DenseBitset* out) const;
   /// True iff all fragments of \p set are on backend \p b.
   bool HoldsAll(size_t b, const FragmentSet& set) const;
-  /// Number of backends holding fragment \p f.
+  /// True iff all fragments of \p set are on backend \p b (word-parallel).
+  bool HoldsAllBits(size_t b, const DenseBitset& set) const;
+  /// True iff backend \p b stores any fragment of \p set (word-parallel).
+  bool RowIntersects(size_t b, const DenseBitset& set) const;
+  /// Number of backends holding fragment \p f. O(1).
   size_t ReplicaCount(FragmentId f) const;
-  /// Total bytes stored on backend \p b according to \p catalog.
+  /// Total bytes stored on backend \p b according to \p catalog. O(1) when
+  /// sizes are bound (the bound sizes take precedence over \p catalog,
+  /// which must then describe the same fragments).
   double BackendBytes(size_t b, const FragmentCatalog& catalog) const;
+  /// Bytes of \p want's fragments missing from backend \p b, summed in
+  /// ascending fragment id order. Requires bound sizes.
+  double MissingBytes(size_t b, const DenseBitset& want) const;
 
   // --- Load assignment (matrices LQ / LU) ---
 
@@ -57,10 +96,11 @@ class Allocation {
   void set_update_assign(size_t b, size_t update_class, double value);
 
   /// assignedLoad(B) (Eq. 14): total read + update weight on backend \p b.
+  /// O(1) via the running aggregates.
   double AssignedLoad(size_t b) const;
-  /// Total read weight assigned to backend \p b.
+  /// Total read weight assigned to backend \p b. O(1).
   double AssignedReadLoad(size_t b) const;
-  /// Total update weight assigned to backend \p b.
+  /// Total update weight assigned to backend \p b. O(1).
   double AssignedUpdateLoad(size_t b) const;
   /// Σ_b read_assign(b, read_class).
   double TotalReadAssign(size_t read_class) const;
@@ -69,13 +109,29 @@ class Allocation {
   std::string ToString(const Classification& cls) const;
 
  private:
+  double frag_size(FragmentId f) const { return (*frag_bytes_)[f]; }
+  uint64_t* row(size_t b) { return placed_.data() + b * words_per_backend_; }
+  const uint64_t* row(size_t b) const {
+    return placed_.data() + b * words_per_backend_;
+  }
+
   size_t num_backends_ = 0;
   size_t num_fragments_ = 0;
   size_t num_reads_ = 0;
   size_t num_updates_ = 0;
-  std::vector<uint8_t> placed_;        // num_backends x num_fragments
+  size_t words_per_backend_ = 0;
+  std::vector<uint64_t> placed_;       // num_backends x words_per_backend
   std::vector<double> read_assign_;    // num_backends x num_reads
   std::vector<double> update_assign_;  // num_backends x num_updates
+
+  // Running aggregates, maintained by every mutator.
+  std::vector<double> read_load_;        // per backend
+  std::vector<double> update_load_;      // per backend
+  std::vector<double> bytes_;            // per backend (valid iff sizes bound)
+  std::vector<uint32_t> replica_count_;  // per fragment
+
+  // Bound fragment sizes (shared across copies; null = not bound).
+  std::shared_ptr<const std::vector<double>> frag_bytes_;
 };
 
 }  // namespace qcap

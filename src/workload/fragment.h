@@ -67,6 +67,111 @@ class FragmentCatalog {
   std::map<std::string, FragmentId> by_name_;
 };
 
+/// \brief Fixed-width bitset over dense ids (fragments, class indices).
+///
+/// The allocation-search hot path replaces sorted-vector set algebra with
+/// word-parallel operations on interned bitsets: Intersects/IsSubset become
+/// a handful of AND/OR instructions per 64 ids and allocate nothing. A
+/// DenseBitset is sized once (Reset) and reused as a scratch buffer.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t num_bits) { Reset(num_bits); }
+
+  /// Resizes to \p num_bits and clears every bit.
+  void Reset(size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+  /// Clears every bit, keeping the size (no reallocation).
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// this |= other (sizes must match).
+  void UnionWith(const DenseBitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+  /// Sets exactly the bits of \p set (clearing everything else).
+  void AssignSet(const FragmentSet& set, size_t num_bits) {
+    Reset(num_bits);
+    for (FragmentId f : set) Set(f);
+  }
+  /// Copies \p num_words raw words (little-endian bit order) over a bitset
+  /// of \p num_bits bits.
+  void AssignWords(const uint64_t* words, size_t num_words, size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign(words, words + num_words);
+  }
+
+  /// True iff no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Calls \p fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const size_t i = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+        fn(i);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// The set bits as a sorted FragmentSet.
+  FragmentSet ToFragmentSet() const {
+    FragmentSet out;
+    out.reserve(Count());
+    ForEachSetBit([&](size_t i) { out.push_back(static_cast<FragmentId>(i)); });
+    return out;
+  }
+
+  /// True iff a ∩ b ≠ ∅ (word-parallel; sizes must match). Hidden friend:
+  /// found only by ADL on DenseBitset arguments, so it never competes with
+  /// the FragmentSet overload on braced initializer lists.
+  friend bool Intersects(const DenseBitset& a, const DenseBitset& b) {
+    const size_t n = a.words_.size() < b.words_.size() ? a.words_.size()
+                                                       : b.words_.size();
+    for (size_t w = 0; w < n; ++w) {
+      if ((a.words_[w] & b.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+  /// True iff a ⊆ b (word-parallel; sizes must match).
+  friend bool IsSubset(const DenseBitset& a, const DenseBitset& b) {
+    for (size_t w = 0; w < a.words_.size(); ++w) {
+      const uint64_t bw = w < b.words_.size() ? b.words_[w] : 0;
+      if ((a.words_[w] & ~bw) != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
 // --- FragmentSet algebra (sets are sorted and duplicate-free) ---
 
 /// Sorts and deduplicates \p set in place.

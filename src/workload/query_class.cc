@@ -75,4 +75,86 @@ Status Classification::Validate() const {
   return Status::OK();
 }
 
+ClassificationIndex::ClassificationIndex(const Classification& cls)
+    : num_fragments_(cls.catalog.size()),
+      reads_(cls.reads.size()),
+      updates_(cls.updates.size()),
+      frag_reads_(cls.catalog.size()),
+      frag_updates_(cls.catalog.size()) {
+  const size_t R = cls.reads.size();
+  const size_t U = cls.updates.size();
+
+  // Interned bitsets + inverted index.
+  for (size_t r = 0; r < R; ++r) {
+    reads_[r].bits.AssignSet(cls.reads[r].fragments, num_fragments_);
+    for (FragmentId f : cls.reads[r].fragments) frag_reads_[f].push_back(r);
+  }
+  for (size_t u = 0; u < U; ++u) {
+    updates_[u].bits.AssignSet(cls.updates[u].fragments, num_fragments_);
+    for (FragmentId f : cls.updates[u].fragments) frag_updates_[f].push_back(u);
+  }
+
+  // updates(C) lists, weights, and bundles. The bundle set and its byte sum
+  // are computed exactly as Classification::FragmentsWithUpdates +
+  // FragmentCatalog::SetBytes (ascending union, ascending summation) so the
+  // memoized values are bitwise identical to the unindexed code paths.
+  auto fill_overlaps = [&](ClassEntry* e, const QueryClass& c) {
+    FragmentSet bundle = c.fragments;
+    for (size_t u = 0; u < U; ++u) {
+      if (Intersects(e->bits, updates_[u].bits)) {
+        e->overlapping_updates.push_back(u);
+        e->overlapping_update_weight += cls.updates[u].weight;
+        bundle = SetUnion(bundle, cls.updates[u].fragments);
+      }
+    }
+    e->bundle_bytes = cls.catalog.SetBytes(bundle);
+    e->bundle_bits.AssignSet(bundle, num_fragments_);
+  };
+  for (size_t r = 0; r < R; ++r) fill_overlaps(&reads_[r], cls.reads[r]);
+  for (size_t u = 0; u < U; ++u) {
+    fill_overlaps(&updates_[u], cls.updates[u]);
+    for (size_t r = 0; r < R; ++r) {
+      if (Intersects(reads_[r].bits, updates_[u].bits)) {
+        updates_[u].overlapping_reads.push_back(r);
+      }
+    }
+  }
+
+  // Update-update overlap adjacency, then the per-read transitive closure
+  // via breadth-first reachability. Reachability distributes over unions of
+  // seed sets, so GarbageCollect can union these per-read closures instead
+  // of re-running the O(U²) fixpoint per backend.
+  std::vector<std::vector<size_t>> update_adj(U);
+  for (size_t u = 0; u < U; ++u) {
+    for (size_t v = 0; v < U; ++v) {
+      if (u != v && Intersects(updates_[u].bits, updates_[v].bits)) {
+        update_adj[u].push_back(v);
+      }
+    }
+  }
+  std::vector<size_t> worklist;
+  for (size_t r = 0; r < R; ++r) {
+    ClassEntry& e = reads_[r];
+    e.closure_updates.Reset(U);
+    e.closure_fragments.Reset(num_fragments_);
+    e.closure_fragments.UnionWith(e.bits);
+    worklist.clear();
+    for (size_t u : e.overlapping_updates) {
+      e.closure_updates.Set(u);
+      worklist.push_back(u);
+    }
+    while (!worklist.empty()) {
+      const size_t u = worklist.back();
+      worklist.pop_back();
+      e.closure_fragments.UnionWith(updates_[u].bits);
+      for (size_t v : update_adj[u]) {
+        if (!e.closure_updates.Test(v)) {
+          e.closure_updates.Set(v);
+          worklist.push_back(v);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace qcap

@@ -57,4 +57,105 @@ struct Classification {
   Status Validate() const;
 };
 
+/// \brief Precomputed set-algebra indexes over a Classification.
+///
+/// Built once per allocator call (O(|C|² · F/64)), consumed by the search
+/// hot loops so they never re-derive overlaps, closures, or bundle sizes:
+///  - interned per-class fragment bitsets (word-parallel Intersects /
+///    HoldsAll against allocation rows),
+///  - memoized updates(C) lists and weights (Eq. 12),
+///  - memoized bundles C ∪ updates(C) with their byte sizes (Algorithm 1's
+///    sort keys and difference sets),
+///  - the transitive update closure per read class: the update classes (and
+///    the union of their fragments) a backend is forced to keep when it
+///    serves that read, collapsing GarbageCollect's O(U²) fixpoint into a
+///    precomputed union,
+///  - a fragment → classes inverted index.
+///
+/// The index is immutable after construction and safe to share across
+/// threads. It must not outlive the Classification it was built from.
+class ClassificationIndex {
+ public:
+  explicit ClassificationIndex(const Classification& cls);
+
+  size_t num_fragments() const { return num_fragments_; }
+  size_t num_reads() const { return reads_.size(); }
+  size_t num_updates() const { return updates_.size(); }
+
+  /// Interned fragment bitset of read class \p r / update class \p u.
+  const DenseBitset& read_bits(size_t r) const { return reads_[r].bits; }
+  const DenseBitset& update_bits(size_t u) const { return updates_[u].bits; }
+
+  /// updates(C) (Eq. 12), ascending update indices.
+  const std::vector<size_t>& read_overlapping_updates(size_t r) const {
+    return reads_[r].overlapping_updates;
+  }
+  const std::vector<size_t>& update_overlapping_updates(size_t u) const {
+    return updates_[u].overlapping_updates;
+  }
+  /// Read classes overlapping update class \p u (ascending).
+  const std::vector<size_t>& reads_overlapping_update(size_t u) const {
+    return updates_[u].overlapping_reads;
+  }
+  /// Σ weight over updates(C).
+  double read_overlapping_update_weight(size_t r) const {
+    return reads_[r].overlapping_update_weight;
+  }
+  double update_overlapping_update_weight(size_t u) const {
+    return updates_[u].overlapping_update_weight;
+  }
+
+  /// Bundle C ∪ updates(C): the data placed together with the class in
+  /// Algorithm 1, as a bitset plus its total bytes.
+  const DenseBitset& read_bundle_bits(size_t r) const {
+    return reads_[r].bundle_bits;
+  }
+  const DenseBitset& update_bundle_bits(size_t u) const {
+    return updates_[u].bundle_bits;
+  }
+  double read_bundle_bytes(size_t r) const { return reads_[r].bundle_bytes; }
+  double update_bundle_bytes(size_t u) const { return updates_[u].bundle_bytes; }
+
+  /// Transitive update closure of read class \p r: every update class
+  /// reachable from r's fragments by chaining overlaps (bit u set), and the
+  /// union of r's fragments with all their fragment sets. A backend serving
+  /// r must keep exactly these fragments and update pins for r's sake.
+  const DenseBitset& read_closure_updates(size_t r) const {
+    return reads_[r].closure_updates;
+  }
+  const DenseBitset& read_closure_fragments(size_t r) const {
+    return reads_[r].closure_fragments;
+  }
+
+  /// Inverted index: classes referencing fragment \p f (ascending).
+  const std::vector<size_t>& reads_of_fragment(FragmentId f) const {
+    return frag_reads_[f];
+  }
+  const std::vector<size_t>& updates_of_fragment(FragmentId f) const {
+    return frag_updates_[f];
+  }
+  /// True iff some update class references fragment \p f.
+  bool fragment_updated(FragmentId f) const {
+    return !frag_updates_[f].empty();
+  }
+
+ private:
+  struct ClassEntry {
+    DenseBitset bits;
+    std::vector<size_t> overlapping_updates;
+    std::vector<size_t> overlapping_reads;  // Updates only.
+    double overlapping_update_weight = 0.0;
+    DenseBitset bundle_bits;
+    double bundle_bytes = 0.0;
+    DenseBitset closure_updates;    // Reads only.
+    DenseBitset closure_fragments;  // Reads only.
+  };
+
+  size_t num_fragments_ = 0;
+  std::vector<ClassEntry> reads_;
+  std::vector<ClassEntry> updates_;
+  std::vector<std::vector<size_t>> frag_reads_;
+  std::vector<std::vector<size_t>> frag_updates_;
+};
+
 }  // namespace qcap

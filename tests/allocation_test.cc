@@ -77,6 +77,89 @@ TEST(AllocationTest, AssignedLoadSumsReadsAndUpdates) {
   EXPECT_DOUBLE_EQ(a.AssignedLoad(1), 0.0);
 }
 
+TEST(AllocationTest, BindSizesMakesBytesIncremental) {
+  Classification cls = testutil::Figure2Classification();
+  Allocation a(2, cls.catalog, 4, 0);
+  EXPECT_TRUE(a.sizes_bound());
+  a.PlaceSet(0, {0, 1});
+  EXPECT_DOUBLE_EQ(a.BackendBytes(0, cls.catalog), 2.0);
+  a.Place(0, 2);
+  EXPECT_DOUBLE_EQ(a.BackendBytes(0, cls.catalog), 3.0);
+  // Binding after the fact recomputes the same totals.
+  Allocation late(2, 3, 4, 0);
+  late.PlaceSet(0, {0, 1});
+  late.Place(0, 2);
+  late.BindSizes(cls.catalog);
+  EXPECT_DOUBLE_EQ(late.BackendBytes(0, cls.catalog), 3.0);
+}
+
+TEST(AllocationTest, PlaceBitsAndRetainFragments) {
+  Classification cls = testutil::Figure2Classification();
+  Allocation a(2, cls.catalog, 4, 0);
+  DenseBitset bits(3);
+  bits.Set(0);
+  bits.Set(2);
+  a.PlaceBits(0, bits);
+  EXPECT_TRUE(a.IsPlaced(0, 0));
+  EXPECT_FALSE(a.IsPlaced(0, 1));
+  EXPECT_TRUE(a.IsPlaced(0, 2));
+  EXPECT_TRUE(a.HoldsAllBits(0, bits));
+  EXPECT_TRUE(a.RowIntersects(0, bits));
+  EXPECT_EQ(a.ReplicaCount(0), 1u);
+  EXPECT_DOUBLE_EQ(a.BackendBytes(0, cls.catalog), 2.0);
+
+  DenseBitset keep(3);
+  keep.Set(2);
+  a.RetainFragments(0, keep);
+  EXPECT_FALSE(a.IsPlaced(0, 0));
+  EXPECT_TRUE(a.IsPlaced(0, 2));
+  EXPECT_EQ(a.ReplicaCount(0), 0u);
+  EXPECT_EQ(a.ReplicaCount(2), 1u);
+  EXPECT_DOUBLE_EQ(a.BackendBytes(0, cls.catalog), 1.0);
+}
+
+TEST(AllocationTest, MissingBytesSumsAbsentFragments) {
+  Classification cls = testutil::Figure2Classification();
+  Allocation a(1, cls.catalog, 4, 0);
+  a.Place(0, 1);
+  DenseBitset want(3);
+  want.Set(0);
+  want.Set(1);
+  want.Set(2);
+  EXPECT_DOUBLE_EQ(a.MissingBytes(0, want), 2.0);
+}
+
+TEST(AllocationTest, ClearBackendRowResetsRowAndAggregates) {
+  Classification cls = testutil::Figure2Classification();
+  Allocation a(2, cls.catalog, 4, 1);
+  a.PlaceSet(0, {0, 1, 2});
+  a.PlaceSet(1, {0});
+  a.set_read_assign(0, 0, 0.4);
+  a.set_update_assign(0, 0, 0.1);
+  a.ClearBackendRow(0);
+  EXPECT_TRUE(a.BackendFragments(0).empty());
+  EXPECT_DOUBLE_EQ(a.AssignedLoad(0), 0.0);
+  EXPECT_DOUBLE_EQ(a.BackendBytes(0, cls.catalog), 0.0);
+  EXPECT_DOUBLE_EQ(a.read_assign(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.update_assign(0, 0), 0.0);
+  // Backend 1 is untouched, and replica counts see the removals.
+  EXPECT_EQ(a.ReplicaCount(0), 1u);
+  EXPECT_EQ(a.ReplicaCount(1), 0u);
+  EXPECT_DOUBLE_EQ(a.BackendBytes(1, cls.catalog), 1.0);
+}
+
+TEST(AllocationTest, SnapshotRowRoundTrips) {
+  Allocation a(2, 70, 1, 0);  // >64 fragments: exercises the second word.
+  a.Place(0, 3);
+  a.Place(0, 69);
+  DenseBitset row;
+  a.SnapshotRow(0, &row);
+  EXPECT_TRUE(row.Test(3));
+  EXPECT_TRUE(row.Test(69));
+  EXPECT_EQ(row.Count(), 2u);
+  EXPECT_EQ(row.ToFragmentSet(), (FragmentSet{3, 69}));
+}
+
 TEST(AllocationTest, ToStringMentionsAssignmentsAndFragments) {
   Classification cls = testutil::Figure2Classification();
   Allocation a(2, 3, 4, 0);

@@ -7,6 +7,7 @@
 #include "alloc/ksafety.h"
 #include "alloc/memetic.h"
 #include "alloc/random_allocator.h"
+#include "common/random.h"
 #include "model/metrics.h"
 #include "model/validation.h"
 #include "workload/classifier.h"
@@ -140,6 +141,147 @@ TEST_P(HeterogeneousSweep, HeterogeneousBackendsStayValid) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeterogeneousSweep,
                          ::testing::Range<uint64_t>(1, 9));
+
+// The Allocation's running aggregates (assigned loads, stored bytes, replica
+// counts) are maintained incrementally by every mutator. After an arbitrary
+// mutation sequence they must agree with a from-scratch recompute to within
+// fp-drift tolerance (1e-9), and counts must match exactly.
+class IncrementalAggregateSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalAggregateSweep, AggregatesMatchFromScratchRecompute) {
+  const auto workload = workloads::MakeRandomWorkload(GetParam());
+  Classifier classifier(workload.catalog, {Granularity::kTable, 4, true});
+  auto cls_or = classifier.Classify(workload.journal);
+  ASSERT_TRUE(cls_or.ok());
+  const Classification cls = std::move(cls_or).value();
+  const ClassificationIndex index(cls);
+  const size_t n = 5;
+  const size_t R = cls.reads.size();
+  const size_t U = cls.updates.size();
+  Allocation alloc(n, cls.catalog, R, U);
+
+  Rng rng(GetParam() * 977 + 11);
+  DenseBitset bits(cls.catalog.size());
+  for (size_t step = 0; step < 400; ++step) {
+    const size_t b = rng.NextBounded(n);
+    switch (rng.NextBounded(7)) {
+      case 0:
+        alloc.Place(b, static_cast<FragmentId>(
+                           rng.NextBounded(cls.catalog.size())));
+        break;
+      case 1:
+        if (R > 0) alloc.PlaceBits(b, index.read_bits(rng.NextBounded(R)));
+        break;
+      case 2:
+        if (U > 0) {
+          alloc.PlaceSet(b, cls.updates[rng.NextBounded(U)].fragments);
+        }
+        break;
+      case 3:
+        if (R > 0) {
+          alloc.set_read_assign(b, rng.NextBounded(R),
+                                rng.NextDouble(0.0, 0.3));
+        }
+        break;
+      case 4:
+        if (R > 0) {
+          alloc.add_read_assign(b, rng.NextBounded(R),
+                                rng.NextDouble(-0.05, 0.1));
+        }
+        if (U > 0) {
+          alloc.set_update_assign(b, rng.NextBounded(U),
+                                  rng.NextDouble(0.0, 0.2));
+        }
+        break;
+      case 5:
+        if (R > 0) {
+          bits.ClearAll();
+          bits.UnionWith(index.read_closure_fragments(rng.NextBounded(R)));
+          alloc.RetainFragments(b, bits);
+        }
+        break;
+      case 6:
+        if (rng.NextBernoulli(0.25)) {
+          alloc.ClearBackendRow(b);
+        } else if (R > 0) {
+          alloc.PlaceBits(b, index.read_bundle_bits(rng.NextBounded(R)));
+        }
+        break;
+    }
+  }
+
+  std::vector<size_t> replicas(cls.catalog.size(), 0);
+  for (size_t b = 0; b < n; ++b) {
+    double read_load = 0.0, update_load = 0.0;
+    for (size_t r = 0; r < R; ++r) read_load += alloc.read_assign(b, r);
+    for (size_t u = 0; u < U; ++u) update_load += alloc.update_assign(b, u);
+    const double bytes = cls.catalog.SetBytes(alloc.BackendFragments(b));
+    EXPECT_NEAR(alloc.AssignedReadLoad(b), read_load, 1e-9) << "backend " << b;
+    EXPECT_NEAR(alloc.AssignedUpdateLoad(b), update_load, 1e-9)
+        << "backend " << b;
+    EXPECT_NEAR(alloc.AssignedLoad(b), read_load + update_load, 1e-9)
+        << "backend " << b;
+    EXPECT_NEAR(alloc.BackendBytes(b, cls.catalog), bytes, 1e-9)
+        << "backend " << b;
+    for (FragmentId f = 0; f < cls.catalog.size(); ++f) {
+      if (alloc.IsPlaced(b, f)) ++replicas[f];
+    }
+  }
+  for (FragmentId f = 0; f < cls.catalog.size(); ++f) {
+    EXPECT_EQ(alloc.ReplicaCount(f), replicas[f]) << "fragment " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalAggregateSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// Regression for the delta-evaluation rewrite of the memetic search: a fixed
+// {seed, num_islands} must yield the identical winner at every thread count.
+class MemeticThreadDeterminismSweep
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MemeticThreadDeterminismSweep, IdenticalWinnerAcrossThreadCounts) {
+  const Instance inst = MakeInstance(GetParam(), 4, Granularity::kTable);
+  GreedyAllocator greedy;
+  auto seed_alloc = greedy.Allocate(inst.cls, inst.backends);
+  ASSERT_TRUE(seed_alloc.ok());
+
+  auto run = [&](size_t threads) {
+    MemeticOptions opts;
+    opts.population_size = 9;
+    opts.iterations = 8;
+    opts.num_islands = 3;
+    opts.migration_interval = 3;
+    opts.seed = GetParam() * 131;
+    opts.threads = threads;
+    MemeticAllocator memetic(opts);
+    auto result = memetic.Improve(inst.cls, inst.backends, seed_alloc.value());
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  };
+
+  const Allocation base = run(1);
+  for (size_t threads : {2, 4}) {
+    const Allocation other = run(threads);
+    for (size_t b = 0; b < base.num_backends(); ++b) {
+      for (FragmentId f = 0; f < base.num_fragments(); ++f) {
+        ASSERT_EQ(base.IsPlaced(b, f), other.IsPlaced(b, f))
+            << "threads=" << threads << " b=" << b << " f=" << f;
+      }
+      for (size_t r = 0; r < base.num_reads(); ++r) {
+        ASSERT_EQ(base.read_assign(b, r), other.read_assign(b, r))
+            << "threads=" << threads;
+      }
+      for (size_t u = 0; u < base.num_updates(); ++u) {
+        ASSERT_EQ(base.update_assign(b, u), other.update_assign(b, u))
+            << "threads=" << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemeticThreadDeterminismSweep,
+                         ::testing::Range<uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace qcap

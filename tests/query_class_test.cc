@@ -90,5 +90,71 @@ TEST(QueryClassTest, ValidateRejectsMisplacedUpdateFlag) {
   EXPECT_FALSE(cls.Validate().ok());
 }
 
+TEST(ClassificationIndexTest, MatchesNaiveHelpers) {
+  const Classification cls = AppendixAClassification();
+  const ClassificationIndex index(cls);
+  ASSERT_EQ(index.num_reads(), cls.reads.size());
+  ASSERT_EQ(index.num_updates(), cls.updates.size());
+  for (size_t r = 0; r < cls.reads.size(); ++r) {
+    EXPECT_EQ(index.read_bits(r).ToFragmentSet(), cls.reads[r].fragments);
+    EXPECT_EQ(index.read_overlapping_updates(r),
+              cls.OverlappingUpdates(cls.reads[r]));
+    EXPECT_DOUBLE_EQ(index.read_overlapping_update_weight(r),
+                     cls.OverlappingUpdateWeight(cls.reads[r]));
+    const FragmentSet bundle = cls.FragmentsWithUpdates(cls.reads[r]);
+    EXPECT_EQ(index.read_bundle_bits(r).ToFragmentSet(), bundle);
+    EXPECT_DOUBLE_EQ(index.read_bundle_bytes(r), cls.catalog.SetBytes(bundle));
+  }
+  for (size_t u = 0; u < cls.updates.size(); ++u) {
+    EXPECT_EQ(index.update_bits(u).ToFragmentSet(), cls.updates[u].fragments);
+    EXPECT_EQ(index.update_overlapping_updates(u),
+              cls.OverlappingUpdates(cls.updates[u]));
+    EXPECT_DOUBLE_EQ(index.update_overlapping_update_weight(u),
+                     cls.OverlappingUpdateWeight(cls.updates[u]));
+  }
+}
+
+TEST(ClassificationIndexTest, InvertedIndexAndOverlappingReads) {
+  const Classification cls = AppendixAClassification();
+  const ClassificationIndex index(cls);
+  // Fragment A=0 is referenced by Q1, Q4 and updated by U1.
+  EXPECT_EQ(index.reads_of_fragment(0), (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(index.updates_of_fragment(0), (std::vector<size_t>{0}));
+  EXPECT_TRUE(index.fragment_updated(0));
+  // U1={A} overlaps Q1 and Q4; every update here has an overlapping read.
+  EXPECT_EQ(index.reads_overlapping_update(0), (std::vector<size_t>{0, 3}));
+  for (size_t u = 0; u < cls.updates.size(); ++u) {
+    EXPECT_FALSE(index.reads_overlapping_update(u).empty());
+  }
+}
+
+TEST(ClassificationIndexTest, ClosureMatchesFixpoint) {
+  // Chained updates: U1={A,B} and U2={B,C} overlap transitively, so a read
+  // on {A} must keep the closure {A,B,C} and both update pins.
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("C", "C", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("D", "D", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {
+      QueryClass{{0}, 0.4, 1.0, false, "Q1", {}},
+      QueryClass{{3}, 0.3, 1.0, false, "Q2", {}},
+  };
+  cls.updates = {
+      QueryClass{{0, 1}, 0.2, 1.0, true, "U1", {}},
+      QueryClass{{1, 2}, 0.1, 1.0, true, "U2", {}},
+  };
+  ASSERT_TRUE(cls.Validate().ok());
+  const ClassificationIndex index(cls);
+  EXPECT_EQ(index.read_closure_fragments(0).ToFragmentSet(),
+            (FragmentSet{0, 1, 2}));
+  EXPECT_TRUE(index.read_closure_updates(0).Test(0));
+  EXPECT_TRUE(index.read_closure_updates(0).Test(1));
+  // Q2={D} touches no update: closure is just its own fragments.
+  EXPECT_EQ(index.read_closure_fragments(1).ToFragmentSet(), (FragmentSet{3}));
+  EXPECT_TRUE(index.read_closure_updates(1).None());
+  EXPECT_FALSE(index.fragment_updated(3));
+}
+
 }  // namespace
 }  // namespace qcap
