@@ -37,10 +37,20 @@ void* operator new[](std::size_t size) {
   throw std::bad_alloc();
 }
 
+// GCC pairs the built-in operator new with the built-in operator delete at
+// call sites and flags our std::free as mismatched; with the replaced
+// operator new above (malloc-backed), free() is exactly right.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace qcap {
 namespace {

@@ -49,12 +49,18 @@ class Evolver {
   /// per-read update closures; no allocation rebuild, no O(U²) fixpoint.
   void GarbageCollect(Allocation* a) { kernel_.GarbageCollect(a); }
 
+  // Mutation and the two local-search strategies are the per-trial inner
+  // loops of the memetic search. Trials reuse the island's scratch vectors
+  // and trial_ allocation; the only allocation is the returned child.
+  // qcap-lint: hot-path begin
+
   Allocation Mutate(const Allocation& parent) {
     Allocation child = parent;
     // Move one random (class, backend) read share to another backend.
     positive_.clear();  // (read class, backend)
     for (size_t r = 0; r < cls_.reads.size(); ++r) {
       for (size_t b = 0; b < child.num_backends(); ++b) {
+        // qcap-lint: allow(hot-path-growth) -- positive_ reaches steady-state capacity after the first scan and is reused across trials
         if (child.read_assign(b, r) > 1e-12) positive_.emplace_back(r, b);
       }
     }
@@ -89,6 +95,7 @@ class Evolver {
         shared_.clear();
         for (size_t r = 0; r < cls_.reads.size(); ++r) {
           if (a->read_assign(b1, r) > 1e-12 && a->read_assign(b2, r) > 1e-12) {
+            // qcap-lint: allow(hot-path-growth) -- shared_ is cleared scratch bounded by |reads|; capacity is reused
             shared_.push_back(r);
           }
         }
@@ -137,6 +144,7 @@ class Evolver {
     for (size_t u = 0; u < cls_.updates.size(); ++u) {
       holders_.clear();
       for (size_t b = 0; b < a->num_backends(); ++b) {
+        // qcap-lint: allow(hot-path-growth) -- holders_ is cleared scratch bounded by num_backends; capacity is reused
         if (a->update_assign(b, u) > 1e-12) holders_.push_back(b);
       }
       if (holders_.size() < 2) continue;
@@ -175,6 +183,8 @@ class Evolver {
     }
     return false;
   }
+
+  // qcap-lint: hot-path end
 
   void LocalImprove(Allocation* a) {
     for (size_t pass = 0; pass < opts_.improve_passes; ++pass) {

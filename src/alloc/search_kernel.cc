@@ -32,6 +32,12 @@ SearchKernel::SearchKernel(const Classification& cls,
   base_bytes_.resize(backends.size());
 }
 
+// The region below is the search's innermost machinery: full/delta cost
+// evaluation and per-backend collection run once per trial, millions of
+// times per allocation. Convention (CHANGES.md PR 3): zero steady-state
+// heap allocation — scratch is sized in the constructor and reused.
+// qcap-lint: hot-path begin
+
 SolutionCost SearchKernel::Evaluate(const Allocation& a) const {
   assert(a.sizes_bound());
   if (progress_ != nullptr) {
@@ -80,6 +86,7 @@ void SearchKernel::GarbageCollectBackends(Allocation* a, const size_t* bs,
   touched->clear();
   for (size_t i = 0; i < count; ++i) {
     CollectBackend(a, bs[i]);
+    // qcap-lint: allow(hot-path-growth) -- touched holds <= num_backends entries; capacity is reached on the first call and reused
     if (!ContainsBackend(*touched, bs[i])) touched->push_back(bs[i]);
   }
   PlaceOrphans(a, touched);
@@ -100,6 +107,7 @@ void SearchKernel::PlaceOrphans(Allocation* a, std::vector<size_t>* touched) {
     a->Place(target, f);
     if (index_.fragment_updated(f)) CloseUpdates(a, target);
     if (touched != nullptr && !ContainsBackend(*touched, target)) {
+      // qcap-lint: allow(hot-path-growth) -- bounded by num_backends; reuses steady-state capacity
       touched->push_back(target);
     }
   }
@@ -165,5 +173,7 @@ SolutionCost SearchKernel::EvaluateDelta(
   if (progress_ != nullptr) progress_->RecordScale(cost.scale);
   return cost;
 }
+
+// qcap-lint: hot-path end
 
 }  // namespace qcap::alloc_internal

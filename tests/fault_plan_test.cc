@@ -107,6 +107,55 @@ TEST(FaultPlanTest, ParseErrors) {
   EXPECT_FALSE(ParseFaultPlan("crash:1:-2").ok());         // negative backend
 }
 
+TEST(FaultPlanTest, ParseErrorsNameTheOffendingEvent) {
+  auto bad_kind = ParseFaultPlan("crash:1:0,reboot:2:1");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.status().message().find("reboot"), std::string::npos);
+  auto bad_number = ParseFaultPlan("crash:1:0,crash:later:1");
+  ASSERT_FALSE(bad_number.ok());
+  EXPECT_NE(bad_number.status().message().find("crash:later:1"),
+            std::string::npos);
+}
+
+TEST(FaultPlanTest, ParseRejectsEmptyFields) {
+  EXPECT_FALSE(ParseFaultPlan("crash::0").ok());      // empty time
+  EXPECT_FALSE(ParseFaultPlan("crash:1:").ok());      // empty backend
+  EXPECT_FALSE(ParseFaultPlan(":1:0").ok());          // empty kind
+  EXPECT_FALSE(ParseFaultPlan("degrade:1:0:").ok());  // empty factor
+  EXPECT_FALSE(ParseFaultPlan(":::").ok());
+}
+
+TEST(FaultPlanTest, ParseRejectsOutOfRangeNumbers) {
+  // std::stol overflow on the backend index must surface as InvalidArgument,
+  // not as an uncaught std::out_of_range.
+  EXPECT_FALSE(ParseFaultPlan("crash:1:99999999999999999999999").ok());
+  EXPECT_FALSE(ParseFaultPlan("crash:1e99999:0").ok());
+}
+
+TEST(FaultPlanTest, ParseRejectsTrailingGarbageInNumbers) {
+  EXPECT_FALSE(ParseFaultPlan("crash:1.5x:0").ok());
+  EXPECT_FALSE(ParseFaultPlan("crash:1:0zzz").ok());
+  EXPECT_FALSE(ParseFaultPlan("degrade:1:0:2.5pts").ok());
+}
+
+TEST(FaultPlanTest, ParseAcceptsNonFiniteButValidateRejects) {
+  // "inf"/"nan" are lexically valid doubles, so the parser takes them and
+  // strict validation is what rejects the plan.
+  auto inf = ParseFaultPlan("crash:inf:0");
+  ASSERT_TRUE(inf.ok()) << inf.status().ToString();
+  EXPECT_FALSE(inf->Validate(1).ok());
+  auto nan = ParseFaultPlan("degrade:1:0:nan");
+  ASSERT_TRUE(nan.ok()) << nan.status().ToString();
+  EXPECT_FALSE(nan->Validate(1).ok());
+}
+
+TEST(FaultPlanTest, ParseTrimsWhitespaceAndSkipsEmptyEvents) {
+  auto plan = ParseFaultPlan("  crash:1:0 ,, recover:2:0 ;");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->events.size(), 2u);
+  EXPECT_TRUE(plan->Validate(1).ok());
+}
+
 TEST(FaultPlanTest, ParseEmptySpecIsEmptyPlan) {
   auto plan = ParseFaultPlan("  ");
   ASSERT_TRUE(plan.ok());

@@ -13,6 +13,51 @@ TEST(StringsTest, JoinMany) {
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
 }
 
+TEST(StringsTest, SplitEmptyStringYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+}
+
+TEST(StringsTest, SplitWithoutSeparatorYieldsWholeString) {
+  EXPECT_EQ(Split("abc", ','), std::vector<std::string>{"abc"});
+}
+
+TEST(StringsTest, SplitPreservesEmptyFieldsBetweenRepeatedDelimiters) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",,", ','), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(StringsTest, SplitPreservesLeadingAndTrailingEmptyFields) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(StringsTest, SplitDoesNotTrimFieldWhitespace) {
+  EXPECT_EQ(Split("a, b", ','), (std::vector<std::string>{"a", " b"}));
+}
+
+TEST(StringsTest, SplitOnlySplitsOnTheGivenSeparator) {
+  EXPECT_EQ(Split("a:b,c", ':'), (std::vector<std::string>{"a", "b,c"}));
+}
+
+TEST(StringsTest, TrimEmpty) { EXPECT_EQ(Trim(""), ""); }
+
+TEST(StringsTest, TrimAllWhitespaceYieldsEmpty) {
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(" \t\r\n\v\f "), "");
+}
+
+TEST(StringsTest, TrimNoWhitespaceIsIdentity) { EXPECT_EQ(Trim("abc"), "abc"); }
+
+TEST(StringsTest, TrimStripsBothEndsOnly) {
+  EXPECT_EQ(Trim("  a b\t"), "a b");
+  EXPECT_EQ(Trim("\n x \n"), "x");
+}
+
+TEST(StringsTest, TrimSingleCharacter) {
+  EXPECT_EQ(Trim(" a"), "a");
+  EXPECT_EQ(Trim("a "), "a");
+  EXPECT_EQ(Trim("a"), "a");
+}
+
 TEST(StringsTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(2.0, 0), "2");

@@ -1,0 +1,176 @@
+#include "token.h"
+
+#include <cctype>
+
+namespace qcap_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators we keep intact; everything else is emitted
+// one character at a time. "::" matters for qualified-name checks.
+const char* kPuncts[] = {"::", "->", "<<=", ">>=", "<=>", "...", "<<", ">>",
+                        "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+                        "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor line: '#' as the first non-whitespace character.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          text += ' ';
+          advance(2);
+          continue;
+        }
+        if (source[i] == '\n') break;
+        text += source[i];
+        advance(1);
+      }
+      tokens.push_back({TokenKind::kPreprocessor, text, start_line});
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j < n && source[j] != '\n') ++j;
+      tokens.push_back(
+          {TokenKind::kComment, source.substr(i + 2, j - i - 2), start_line});
+      advance(j - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) ++j;
+      const size_t end = (j + 1 < n) ? j + 2 : n;
+      tokens.push_back(
+          {TokenKind::kComment, source.substr(i + 2, j - i - 2), start_line});
+      advance(end - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(') delim += source[j++];
+      const std::string closer = ")" + delim + "\"";
+      const size_t body = (j < n) ? j + 1 : n;
+      const size_t close = source.find(closer, body);
+      const size_t end = (close == std::string::npos) ? n : close + closer.size();
+      tokens.push_back({TokenKind::kString,
+                        source.substr(body, (close == std::string::npos
+                                                 ? n
+                                                 : close) -
+                                                body),
+                        line});
+      advance(end - i);
+      continue;
+    }
+
+    // String / char literals (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      size_t j = i + 1;
+      std::string text;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) {
+          text += source[j];
+          text += source[j + 1];
+          j += 2;
+          continue;
+        }
+        text += source[j];
+        ++j;
+      }
+      tokens.push_back({quote == '"' ? TokenKind::kString
+                                     : TokenKind::kCharLiteral,
+                        text, start_line});
+      advance((j < n ? j + 1 : n) - i);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      tokens.push_back({TokenKind::kIdentifier, source.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Number (covers ints, floats, hex, digit separators well enough).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
+                       source[j] == '\'' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      tokens.push_back({TokenKind::kNumber, source.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation: longest known multi-char operator first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        tokens.push_back({TokenKind::kPunct, p, line});
+        advance(len);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return tokens;
+}
+
+}  // namespace qcap_lint

@@ -1,0 +1,223 @@
+// Fixture-driven self-tests for qcap_lint.
+//
+// Every file in testdata/ is linted under the virtual path given by its
+// `// qcap-lint-test: as=<path>` header (path-dependent rules need to see
+// src/alloc/..., not testdata/...). Expected findings are encoded inline:
+//   <bad code>  // expect: <rule-id>
+// means "exactly one unsuppressed finding with that rule on this line", and
+//   // expect-file: <rule-id>
+// means "one finding with that rule anywhere in the file". The harness
+// fails on missing AND on unexpected findings, so the fixtures pin both
+// positive and negative behavior.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "token.h"
+
+namespace qcap_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  std::string file;          // on-disk name, for messages
+  std::string virtual_path;  // path the linter sees
+  std::string content;
+  std::multiset<std::pair<int, std::string>> expected;  // (line, rule)
+  std::multiset<std::string> expected_anywhere;         // expect-file rules
+};
+
+std::string TestdataDir() { return QCAP_LINT_TESTDATA; }
+
+std::vector<Fixture> LoadFixtures() {
+  std::vector<Fixture> fixtures;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(TestdataDir())) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    Fixture fx;
+    fx.file = p.filename().string();
+    std::ifstream in(p);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fx.content = buf.str();
+
+    std::istringstream lines(fx.content);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      const size_t as = line.find("qcap-lint-test: as=");
+      if (as != std::string::npos) {
+        fx.virtual_path = line.substr(as + 19);
+        while (!fx.virtual_path.empty() &&
+               (fx.virtual_path.back() == ' ' ||
+                fx.virtual_path.back() == '\r')) {
+          fx.virtual_path.pop_back();
+        }
+      }
+      auto parse_rules = [&](size_t pos, auto&& add) {
+        std::string rest = line.substr(pos);
+        std::istringstream split(rest);
+        std::string rule;
+        while (std::getline(split, rule, ',')) {
+          const size_t b = rule.find_first_not_of(" \t");
+          const size_t e = rule.find_last_not_of(" \t\r");
+          if (b != std::string::npos) add(rule.substr(b, e - b + 1));
+        }
+      };
+      const size_t file_marker = line.find("// expect-file: ");
+      if (file_marker != std::string::npos) {
+        parse_rules(file_marker + 16,
+                    [&](std::string r) { fx.expected_anywhere.insert(r); });
+        continue;
+      }
+      const size_t marker = line.find("// expect: ");
+      if (marker != std::string::npos) {
+        parse_rules(marker + 11, [&](std::string r) {
+          fx.expected.insert({lineno, r});
+        });
+      }
+    }
+    EXPECT_FALSE(fx.virtual_path.empty())
+        << fx.file << ": missing '// qcap-lint-test: as=<path>' header";
+    fixtures.push_back(std::move(fx));
+  }
+  return fixtures;
+}
+
+TEST(QcapLintFixtures, EveryFixtureMatchesItsExpectations) {
+  const std::vector<Fixture> fixtures = LoadFixtures();
+  ASSERT_GE(fixtures.size(), 10u) << "fixture corpus shrank";
+  for (const Fixture& fx : fixtures) {
+    SCOPED_TRACE(fx.file);
+    const FileResult result = LintContent(fx.virtual_path, fx.content);
+    auto expected = fx.expected;
+    auto anywhere = fx.expected_anywhere;
+    for (const Finding& f : result.findings) {
+      auto it = expected.find({f.line, f.rule});
+      if (it != expected.end()) {
+        expected.erase(it);
+        continue;
+      }
+      auto any = anywhere.find(f.rule);
+      if (any != anywhere.end()) {
+        anywhere.erase(any);
+        continue;
+      }
+      ADD_FAILURE() << fx.file << ":" << f.line << ": unexpected finding ["
+                    << f.rule << "] " << f.message;
+    }
+    for (const auto& [line, rule] : expected) {
+      ADD_FAILURE() << fx.file << ":" << line << ": expected finding ["
+                    << rule << "] was not produced";
+    }
+    for (const std::string& rule : anywhere) {
+      ADD_FAILURE() << fx.file << ": expected file-level finding [" << rule
+                    << "] was not produced";
+    }
+  }
+}
+
+TEST(QcapLintFixtures, CorpusCoversEveryRule) {
+  std::set<std::string> covered;
+  for (const Fixture& fx : LoadFixtures()) {
+    for (const auto& [line, rule] : fx.expected) covered.insert(rule);
+    for (const std::string& rule : fx.expected_anywhere) covered.insert(rule);
+  }
+  for (const char* rule : kAllRules) {
+    EXPECT_TRUE(covered.count(rule))
+        << "no fixture exercises rule [" << rule << "]";
+  }
+}
+
+TEST(QcapLintSuppressions, TrailingAllowSuppressesSameLine) {
+  const std::string code =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> MakeMap();  "
+      "// qcap-lint: allow(unordered-container) -- lookup only\n";
+  const FileResult r = LintContent("src/alloc/x.cc", code);
+  // Line 1 (the include) is unsuppressed; line 2 is suppressed.
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 1);
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].line, 2);
+  EXPECT_EQ(r.suppressed[0].rule, "unordered-container");
+}
+
+TEST(QcapLintSuppressions, AllowFileSuppressesWholeFile) {
+  const std::string code =
+      "// qcap-lint: allow-file(nondeterministic-call) -- wall-clock bench\n"
+      "#include <chrono>\n"
+      "double Now() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  const FileResult r = LintContent("src/cluster/x.cc", code);
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "nondeterministic-call");
+}
+
+TEST(QcapLintRegions, HotPathRulesStopAtEnd) {
+  const std::string code =
+      "#include <vector>\n"
+      "void F(std::vector<int>* v) {\n"
+      "  // qcap-lint: hot-path begin\n"
+      "  v->push_back(1);\n"
+      "  // qcap-lint: hot-path end\n"
+      "  v->push_back(2);\n"
+      "}\n";
+  const FileResult r = LintContent("src/alloc/x.cc", code);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].line, 4);
+  EXPECT_EQ(r.findings[0].rule, "hot-path-growth");
+}
+
+TEST(QcapLintLexer, LiteralsAndCommentsDoNotLeakIntoCode) {
+  // "rand(" in a string, a char, and a comment must not trip any rule.
+  const std::string code =
+      "const char* kDoc = \"call rand() here\";\n"
+      "// rand() in a comment\n"
+      "/* time(nullptr) in a block comment */\n"
+      "const char c = '\\\\';\n";
+  const FileResult r = LintContent("src/model/x.cc", code);
+  EXPECT_TRUE(r.findings.empty()) << r.findings[0].message;
+}
+
+TEST(QcapLintLexer, RawStringsAreOpaque) {
+  const std::string code =
+      "const char* kJson = R\"(rand() and time(nullptr) and new int)\";\n";
+  const FileResult r = LintContent("src/model/x.cc", code);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(QcapLintLexer, LineNumbersSurviveMultilineConstructs) {
+  const std::vector<Token> tokens = Lex("/* a\nb\nc */\nint x;\n");
+  ASSERT_EQ(tokens.size(), 4u);  // comment, int, x, ;
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 4);
+}
+
+TEST(QcapLintRandomModule, RngWrapperIsExempt) {
+  const std::string code =
+      "#include <random>\n"
+      "namespace qcap {\n"
+      "unsigned SeedFromEntropy() { return std::random_device{}(); }\n"
+      "}\n";
+  EXPECT_TRUE(LintContent("src/common/random.cc", code).findings.empty());
+  EXPECT_FALSE(LintContent("src/common/strings.cc", code).findings.empty());
+}
+
+}  // namespace
+}  // namespace qcap_lint

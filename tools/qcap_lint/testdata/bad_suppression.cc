@@ -1,0 +1,19 @@
+// qcap-lint-test: as=src/alloc/fixture.cc
+// Known-bad: malformed lint directives.
+#include <map>
+
+namespace qcap {
+
+// qcap-lint: allow(unordered-container)  // expect: bad-directive
+std::map<int, int> Ok();
+
+// qcap-lint: allow(no-such-rule) -- because  // expect: bad-directive
+int Two();
+
+// qcap-lint: hot-path end  // expect: bad-directive
+int Three();
+
+// qcap-lint: frobnicate  // expect: bad-directive
+int Four();
+
+}  // namespace qcap

@@ -1,0 +1,17 @@
+// qcap-lint-test: as=src/model/fixture.cc
+// Known-bad: libc PRNG calls in a deterministic module.
+#include <cstdlib>
+
+namespace qcap {
+
+int Roll() {
+  return rand() % 6;  // expect: nondeterministic-call
+}
+
+void Reseed() {
+  srand(42);  // expect: nondeterministic-call
+}
+
+int NotFlagged(int my_rand) { return my_rand + 1; }
+
+}  // namespace qcap

@@ -1,0 +1,12 @@
+// qcap-lint-test: as=src/alloc/fixture.cc
+// Known-bad: hardware entropy defeats {seed, num_islands} reproducibility.
+#include <random>
+
+namespace qcap {
+
+unsigned Entropy() {
+  std::random_device rd;  // expect: nondeterministic-call
+  return rd();
+}
+
+}  // namespace qcap

@@ -1,0 +1,24 @@
+// qcap-lint-test: as=src/cluster/fixture.cc
+// Known-bad: wall-clock reads make simulated time diverge between runs.
+#include <chrono>
+#include <ctime>
+
+namespace qcap {
+
+double Stamp() {
+  auto t = std::chrono::steady_clock::now();  // expect: nondeterministic-call
+  (void)t;
+  return static_cast<double>(std::time(nullptr));  // expect: nondeterministic-call
+}
+
+long Epoch() {
+  return time(nullptr);  // expect: nondeterministic-call
+}
+
+// Members and declarations named `time` are not calls of ::time().
+struct Event {
+  double time;
+};
+double Read(const Event& e) { return e.time; }
+
+}  // namespace qcap

@@ -1,0 +1,26 @@
+// qcap-lint-test: as=src/alloc/fixture.cc
+// Negative fixture: idiomatic QCAP code that must produce zero findings.
+#include <map>
+#include <vector>
+
+namespace qcap {
+
+struct Rng {
+  explicit Rng(unsigned long long seed) : state_(seed) {}
+  unsigned long long Next() { return state_ *= 6364136223846793005ULL; }
+  unsigned long long state_;
+};
+
+constexpr int kFanout = 4;
+
+double Evaluate(const std::vector<double>& loads, Rng* rng) {
+  double best = 0.0;
+  for (double v : loads) {
+    best = v > best ? v : best;
+  }
+  std::map<int, double> ordered;
+  ordered[0] = best + static_cast<double>(rng->Next() % 100);
+  return ordered[0];
+}
+
+}  // namespace qcap

@@ -1,0 +1,29 @@
+// qcap-lint-test: as=src/alloc/fixture.cc
+// Known-bad: heap allocation inside a marked hot-path region.
+#include <cstdlib>
+#include <memory>
+
+namespace qcap {
+
+struct Kernel {
+  double* scratch = nullptr;
+
+  // qcap-lint: hot-path begin
+  double Step(int n) {
+    double* tmp = new double[n];  // expect: hot-path-alloc
+    auto boxed = std::make_unique<int>(n);  // expect: hot-path-alloc
+    void* raw = malloc(16);  // expect: hot-path-alloc
+    free(raw);  // expect: hot-path-alloc
+    double acc = tmp[0] + static_cast<double>(*boxed);
+    delete[] tmp;  // expect: hot-path-alloc
+    return acc;
+  }
+  // qcap-lint: hot-path end
+
+  // Outside the region the same calls are not the linter's business.
+  void Setup(int n) { scratch = new double[n]; }
+  ~Kernel() { delete[] scratch; }
+  Kernel(const Kernel&) = delete;  // `= delete` is not a deallocation
+};
+
+}  // namespace qcap

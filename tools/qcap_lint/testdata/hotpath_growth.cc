@@ -1,0 +1,25 @@
+// qcap-lint-test: as=src/alloc/fixture.cc
+// Known-bad: container growth inside a marked hot-path region, plus one
+// annotated steady-state append.
+#include <vector>
+
+namespace qcap {
+
+struct Search {
+  std::vector<int> touched;
+  std::vector<int> scratch;
+
+  // qcap-lint: hot-path begin
+  void Trial(int b) {
+    touched.push_back(b);  // expect: hot-path-growth
+    scratch.resize(64);  // expect: hot-path-growth
+    scratch.reserve(128);  // expect: hot-path-growth
+    // qcap-lint: allow(hot-path-growth) -- capacity reached in first pass
+    scratch.push_back(b);
+  }
+  // qcap-lint: hot-path end
+
+  void Prepare() { scratch.reserve(1024); }
+};
+
+}  // namespace qcap

@@ -1,0 +1,36 @@
+// qcap-lint-test: as=src/alloc/fixture.cc
+// Known-bad: rebuilding ClassificationIndex per iteration (the convention is
+// build-once-per-allocator-call; see CHANGES.md PR 3).
+namespace qcap {
+
+struct Classification {};
+struct ClassificationIndex {
+  explicit ClassificationIndex(const Classification& c);
+};
+
+double EvaluateAll(const Classification& cls, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    ClassificationIndex index(cls);  // expect: index-in-loop
+    total += 1.0;
+  }
+  int j = 0;
+  while (j < n) {
+    const ClassificationIndex idx{cls};  // expect: index-in-loop
+    ++j;
+  }
+  // Build-once-then-loop is the sanctioned shape.
+  ClassificationIndex once(cls);
+  for (int i = 0; i < n; ++i) total += 1.0;
+  return total;
+}
+
+// References and pointers to an existing index are fine inside loops.
+void Walk(const ClassificationIndex& index, int n) {
+  for (int i = 0; i < n; ++i) {
+    const ClassificationIndex& ref = index;
+    (void)ref;
+  }
+}
+
+}  // namespace qcap

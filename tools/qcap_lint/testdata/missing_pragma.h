@@ -1,0 +1,8 @@
+// qcap-lint-test: as=src/engine/fixture.h
+// expect-file: missing-pragma-once
+// Known-bad: header without an include guard pragma.
+#include <cstddef>
+
+namespace qcap {
+size_t Footprint();
+}  // namespace qcap

@@ -1,0 +1,26 @@
+// qcap-lint-test: as=src/physical/fixture.cc
+// Known-bad: mutable namespace-scope state.
+#include <atomic>
+#include <string>
+
+namespace qcap {
+
+int g_calls = 0;  // expect: mutable-global
+static double g_budget;  // expect: mutable-global
+int g_table[4] = {0, 1, 2, 3};  // expect: mutable-global
+
+namespace {
+std::string g_last_error = "none";  // expect: mutable-global
+}  // namespace
+
+// All of these are fine:
+const int kLimit = 8;
+constexpr double kEps = 1e-9;
+static constexpr char kName[] = "qcap";
+int Add(int a, int b);
+inline constexpr int kInlineOk = 3;
+
+// qcap-lint: allow(mutable-global) -- process-wide toggle, guarded by mutex
+std::atomic<bool> g_verbose = false;
+
+}  // namespace qcap

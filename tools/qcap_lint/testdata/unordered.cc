@@ -1,0 +1,15 @@
+// qcap-lint-test: as=src/alloc/fixture.cc
+// Known-bad: hash containers in a deterministic module, plus one annotated
+// use whose iteration order is never observed.
+#include <string>
+#include <unordered_map>  // expect: unordered-container
+#include <unordered_set>  // expect: unordered-container
+
+namespace qcap {
+
+std::unordered_map<int, double> MakeCosts();  // expect: unordered-container
+
+// qcap-lint: allow(unordered-container) -- only point lookups, never iterated
+std::unordered_set<std::string> g_names_ok();
+
+}  // namespace qcap

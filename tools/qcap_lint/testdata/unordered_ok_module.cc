@@ -1,0 +1,10 @@
+// qcap-lint-test: as=src/engine/fixture.cc
+// Negative fixture: engine/ is not a deterministic module, so hash
+// containers are fine here without annotation.
+#include <unordered_map>
+
+namespace qcap {
+
+std::unordered_map<int, int> Histogram();
+
+}  // namespace qcap

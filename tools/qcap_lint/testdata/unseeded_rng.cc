@@ -1,0 +1,16 @@
+// qcap-lint-test: as=src/solver/fixture.cc
+// Known-bad: default-seeded engines hide the seed from the run config.
+#include <random>
+
+namespace qcap {
+
+int Draw() {
+  std::mt19937 rng;  // expect: unseeded-rng
+  std::mt19937_64 rng64{};  // expect: unseeded-rng
+  std::default_random_engine eng;  // expect: unseeded-rng
+  std::mt19937 seeded(12345);  // explicitly seeded: fine
+  std::mt19937 derived{rng()};
+  return static_cast<int>(seeded() + derived() + rng64() + eng());
+}
+
+}  // namespace qcap

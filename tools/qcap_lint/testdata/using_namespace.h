@@ -1,0 +1,10 @@
+// qcap-lint-test: as=src/workload/fixture.h
+#pragma once
+// Known-bad: namespace-level using-directive in a header.
+#include <string>
+
+using namespace std;  // expect: using-namespace-header
+
+namespace qcap {
+string Name();
+}  // namespace qcap

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qcap_lint {
+
+enum class TokenKind {
+  kIdentifier,   // identifiers and keywords
+  kNumber,       // numeric literals
+  kString,       // string literals (incl. raw strings)
+  kCharLiteral,  // character literals
+  kPunct,        // operators and punctuation, one token per lexeme
+  kComment,      // // and /* */ comments, text without delimiters
+  kPreprocessor  // full preprocessor line, e.g. "#pragma once"
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+/// Lexes C++ source into a flat token stream. This is a deliberately
+/// lightweight scanner: it understands comments, string/char literals
+/// (including raw strings and escapes), preprocessor lines (with
+/// backslash continuations), and multi-character operators far enough
+/// to never misparse a literal as code. It does not expand macros.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace qcap_lint
