@@ -8,9 +8,11 @@
 #include <cstdlib>
 #include <new>
 
+#include "alloc/full_replication.h"
 #include "alloc/greedy.h"
 #include "alloc/memetic.h"
 #include "alloc/search_kernel.h"
+#include "cluster/event_queue.h"
 #include "cluster/simulator.h"
 #include "common/random.h"
 #include "model/metrics.h"
@@ -240,6 +242,92 @@ void BM_SimulatorClosedLoop(benchmark::State& state) {
                           static_cast<int64_t>(requests));
 }
 BENCHMARK(BM_SimulatorClosedLoop)->Arg(10000)->Arg(50000);
+
+void BM_SimulatorOpenLoop(benchmark::State& state) {
+  const engine::Catalog catalog = workloads::TpcAppCatalog(300.0);
+  const QueryJournal journal = workloads::TpcAppJournal(200000);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  Classification cls = classifier.Classify(journal).value();
+  const auto backends = HomogeneousBackends(10);
+  GreedyAllocator greedy;
+  Allocation alloc = greedy.Allocate(cls, backends).value();
+  SimulationConfig config;
+  auto sim = ClusterSimulator::Create(cls, alloc, backends, config).value();
+  SimStats out;
+  // Warm-up: the first run grows the pooled scratch (event arena, request
+  // slots, response samples) to its high-water mark; the measured runs
+  // repeat the same seed, so steady state reuses it and the loop must
+  // report allocs/iter = 0.
+  if (!sim.RunOpen(1.0, 2000.0, &out).ok()) state.SkipWithError("warm-up");
+  const uint64_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    auto status = sim.RunOpen(1.0, 2000.0, &out);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["allocs/iter"] = static_cast<double>(
+      g_alloc_count.load() - allocs_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SimulatorOpenLoop);
+
+void BM_DispatchReadWide(benchmark::State& state) {
+  // Full replication over many backends: every read class's candidate
+  // list spans the whole cluster, putting the per-dispatch weight on the
+  // pending-index pick instead of the service itself.
+  const engine::Catalog catalog = workloads::TpcAppCatalog(300.0);
+  const QueryJournal journal = workloads::TpcAppJournal(100000);
+  Classifier classifier(catalog, {Granularity::kTable, 4, true});
+  Classification cls = classifier.Classify(journal).value();
+  const auto backends = HomogeneousBackends(32);
+  FullReplicationAllocator full;
+  Allocation alloc = full.Allocate(cls, backends).value();
+  SimulationConfig config;
+  auto sim = ClusterSimulator::Create(cls, alloc, backends, config).value();
+  SimStats out;
+  uint64_t requests = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim.set_seed(sim.seed() + 1);
+    auto status = sim.RunClosed(requests, 64, &out);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(requests));
+}
+BENCHMARK(BM_DispatchReadWide)->Arg(20000);
+
+void BM_EventQueue(benchmark::State& state) {
+  // Steady-state churn at a fixed population: push/pop cycles against a
+  // warmed arena must recycle slots without touching the allocator.
+  const size_t population = static_cast<size_t>(state.range(0));
+  EventQueue queue;
+  queue.Reserve(population + 1);
+  Rng rng(5);
+  uint64_t seq = 0;
+  double now = 0.0;
+  for (size_t i = 0; i < population; ++i) {
+    SimEvent ev;
+    ev.time = now + rng.NextDouble();
+    ev.seq = seq++;
+    queue.Push(ev);
+  }
+  SimEvent popped;
+  const uint64_t allocs_before = g_alloc_count.load();
+  for (auto _ : state) {
+    queue.Pop(&popped);
+    now = popped.time;
+    SimEvent ev;
+    ev.time = now + rng.NextDouble();
+    ev.seq = seq++;
+    queue.Push(ev);
+    benchmark::DoNotOptimize(popped);
+  }
+  state.counters["allocs/iter"] = static_cast<double>(
+      g_alloc_count.load() - allocs_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_EventQueue)->Arg(64)->Arg(4096);
 
 }  // namespace
 }  // namespace qcap

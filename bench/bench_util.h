@@ -11,6 +11,7 @@
 #include "alloc/allocator.h"
 #include "cluster/simulator.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "engine/catalog.h"
 #include "model/metrics.h"
 #include "model/validation.h"
@@ -64,16 +65,33 @@ struct ThroughputStats {
   double max = 0.0;
 };
 
+/// Replications run as one RunClosedSweep fan (seeds 1..seeds) over the
+/// default thread count, or \p pool when given. Sweep results land in
+/// submission order and the aggregation below walks them in that order, so
+/// the numbers are bit-identical to the old serial seed loop.
 inline Result<ThroughputStats> SimulateSeeds(
     const Pipeline& p, uint64_t requests, size_t seeds,
     const engine::CostModelParams& params,
-    double rowa_fanout_overhead = 0.0) {
+    double rowa_fanout_overhead = 0.0, ThreadPool* pool = nullptr) {
+  SimulationConfig config;
+  config.cost_params = params;
+  config.seed = 1;
+  config.servers_per_backend = 4;
+  config.rowa_fanout_overhead = rowa_fanout_overhead;
+  QCAP_ASSIGN_OR_RETURN(
+      ClusterSimulator sim,
+      ClusterSimulator::Create(p.cls, p.alloc, p.backends, config));
+  SweepOptions sweep;
+  sweep.repeat = seeds;
+  sweep.threads = ThreadPool::DefaultThreads();
+  sweep.pool = pool;
+  QCAP_ASSIGN_OR_RETURN(
+      std::vector<SimStats> runs,
+      sim.RunClosedSweep(requests, 4 * p.backends.size(), sweep));
   ThroughputStats out;
   out.min = 1e300;
   out.max = -1e300;
-  for (size_t s = 0; s < seeds; ++s) {
-    QCAP_ASSIGN_OR_RETURN(SimStats stats, Simulate(p, requests, s + 1, params,
-                                                   rowa_fanout_overhead));
+  for (const SimStats& stats : runs) {
     out.mean += stats.throughput;
     out.min = std::min(out.min, stats.throughput);
     out.max = std::max(out.max, stats.throughput);

@@ -11,15 +11,21 @@
 //     --json               emit JSON instead of the text report
 //     --simulate D:R       after allocating, run an open-loop simulation of
 //                          D seconds at R requests/second and print its stats
+//     --repeat N           run N independent simulation replications (seeds
+//                          1..N) fanned out over --threads workers and print
+//                          per-replication stats plus a mean/min/max summary
 //     --fault-plan SPEC    fault schedule for --simulate, e.g.
 //                          "crash:10:2,recover:25:2,degrade:5:0:4"
 //
 // The memetic allocator is deterministic for a fixed (--islands, seed)
-// regardless of --threads, so --threads only changes the wall-clock.
+// regardless of --threads, so --threads only changes the wall-clock. The
+// same holds for --repeat: replication i always runs at seed 1 + i, so the
+// sweep's stats are bit-identical at any thread count.
 //
 // Schema files use the engine/schema_io.h format; journal files use the
 // workload/journal_io.h format (SaveJournal). Example inputs can be
 // produced with examples/sql_workload.
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -55,7 +61,7 @@ int main(int argc, char** argv) {
                  "horizontal] [--partitions P] "
                  "[--allocator greedy|memetic|full|ksafe1] "
                  "[--threads T] [--islands N] [--migration M] [--json] "
-                 "[--simulate D:R] [--fault-plan SPEC]\n");
+                 "[--simulate D:R] [--repeat N] [--fault-plan SPEC]\n");
     return 2;
   }
   const std::string schema_path = argv[1];
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   bool simulate = false;
   double sim_duration = 0.0;
   double sim_rate = 0.0;
+  size_t sim_repeat = 1;
   FaultPlan fault_plan;
   bool have_fault_plan = false;
 
@@ -124,6 +131,10 @@ int main(int argc, char** argv) {
         return Fail("--simulate needs <duration>:<rate> with both > 0");
       }
       simulate = true;
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (!v || std::atoi(v) <= 0) return Fail("--repeat needs a count");
+      sim_repeat = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--fault-plan") {
       const char* v = next();
       if (!v) return Fail("--fault-plan needs a spec");
@@ -137,6 +148,9 @@ int main(int argc, char** argv) {
   }
   if (have_fault_plan && !simulate) {
     return Fail("--fault-plan requires --simulate <duration>:<rate>");
+  }
+  if (sim_repeat > 1 && !simulate) {
+    return Fail("--repeat requires --simulate <duration>:<rate>");
   }
 
   auto catalog = engine::LoadCatalog(schema_path);
@@ -188,6 +202,34 @@ int main(int argc, char** argv) {
     auto sim =
         ClusterSimulator::Create(cls.value(), alloc.value(), backends, config);
     if (!sim.ok()) return Fail(sim.status().ToString());
+    if (sim_repeat > 1) {
+      SweepOptions sweep;
+      sweep.repeat = sim_repeat;
+      sweep.threads =
+          mopts.threads > 0 ? mopts.threads : ThreadPool::DefaultThreads();
+      auto runs = sim->RunOpenSweep(sim_duration, sim_rate, sweep);
+      if (!runs.ok()) return Fail(runs.status().ToString());
+      double thr_sum = 0.0;
+      double thr_min = 0.0;
+      double thr_max = 0.0;
+      double avg_sum = 0.0;
+      for (size_t i = 0; i < runs->size(); ++i) {
+        const SimStats& st = (*runs)[i];
+        std::printf("replication %zu (seed %llu): %s\n", i,
+                    static_cast<unsigned long long>(config.seed + i),
+                    st.ToString().c_str());
+        thr_sum += st.throughput;
+        avg_sum += st.avg_response_seconds;
+        thr_min = i == 0 ? st.throughput : std::min(thr_min, st.throughput);
+        thr_max = i == 0 ? st.throughput : std::max(thr_max, st.throughput);
+      }
+      const double n = static_cast<double>(runs->size());
+      std::printf(
+          "sweep: replications=%zu, throughput mean=%.2f min=%.2f max=%.2f "
+          "req/s, avg response mean=%.4g ms\n",
+          runs->size(), thr_sum / n, thr_min, thr_max, avg_sum / n * 1e3);
+      return 0;
+    }
     auto stats = sim->RunOpen(sim_duration, sim_rate);
     if (!stats.ok()) return Fail(stats.status().ToString());
     std::printf("simulation: %s\n", stats->ToString().c_str());

@@ -14,15 +14,31 @@ Result<AutonomicResult> AutonomicScaler::Replay(
     return Status::InvalidArgument("empty trace");
   }
 
-  // Allocations per cluster size are cached: the control loop revisits
-  // sizes many times over a day.
+  // Allocations and simulators per cluster size are cached: the control
+  // loop revisits sizes many times over a day, and a reused simulator runs
+  // out of warm scratch (bit-identical to a fresh one for the same seed).
+  // std::map nodes are address-stable, so the cached simulator's reference
+  // to its allocation stays valid as more sizes are added.
   std::map<size_t, Allocation> alloc_cache;
+  std::map<size_t, ClusterSimulator> sim_cache;
   auto allocation_for = [&](size_t nodes) -> Result<const Allocation*> {
     auto it = alloc_cache.find(nodes);
     if (it == alloc_cache.end()) {
       QCAP_ASSIGN_OR_RETURN(
           Allocation a, allocator_->Allocate(cls_, HomogeneousBackends(nodes)));
       it = alloc_cache.emplace(nodes, std::move(a)).first;
+    }
+    return &it->second;
+  };
+  auto simulator_for = [&](size_t nodes) -> Result<ClusterSimulator*> {
+    auto it = sim_cache.find(nodes);
+    if (it == sim_cache.end()) {
+      QCAP_ASSIGN_OR_RETURN(const Allocation* alloc, allocation_for(nodes));
+      QCAP_ASSIGN_OR_RETURN(
+          ClusterSimulator sim,
+          ClusterSimulator::Create(cls_, *alloc, HomogeneousBackends(nodes),
+                                   config_.sim));
+      it = sim_cache.emplace(nodes, std::move(sim)).first;
     }
     return &it->second;
   };
@@ -37,16 +53,12 @@ Result<AutonomicResult> AutonomicScaler::Replay(
     const double rate_qps =
         bucket.requests_per_10min * config_.trace_multiplier / 600.0;
 
-    QCAP_ASSIGN_OR_RETURN(const Allocation* alloc, allocation_for(nodes));
-    const std::vector<BackendSpec> backends = HomogeneousBackends(nodes);
-    SimulationConfig sim = config_.sim;
-    sim.seed = config_.sim.seed ^ static_cast<uint64_t>(bucket.tod_seconds);
-    QCAP_ASSIGN_OR_RETURN(
-        ClusterSimulator simulator,
-        ClusterSimulator::Create(cls_, *alloc, backends, sim));
+    QCAP_ASSIGN_OR_RETURN(ClusterSimulator* simulator, simulator_for(nodes));
+    simulator->set_seed(config_.sim.seed ^
+                        static_cast<uint64_t>(bucket.tod_seconds));
     QCAP_ASSIGN_OR_RETURN(
         SimStats stats,
-        simulator.RunOpen(config_.slice_seconds, std::max(rate_qps, 0.5)));
+        simulator->RunOpen(config_.slice_seconds, std::max(rate_qps, 0.5)));
 
     AutonomicStep step;
     step.tod_seconds = bucket.tod_seconds;
@@ -79,10 +91,11 @@ Result<AutonomicResult> AutonomicScaler::Replay(
         next = nodes - 1;
       }
       if (next != nodes) {
+        QCAP_ASSIGN_OR_RETURN(const Allocation* current, allocation_for(nodes));
         QCAP_ASSIGN_OR_RETURN(const Allocation* target, allocation_for(next));
         QCAP_ASSIGN_OR_RETURN(
             TransitionPlan plan,
-            physical_.Plan(*alloc, *target, cls_.catalog));
+            physical_.Plan(*current, *target, cls_.catalog));
         step.moved_bytes = plan.total_bytes;
         nodes = next;
       }

@@ -4,48 +4,44 @@
 
 namespace qcap {
 
-bool BackendNode::CanStart(double now) const {
-  if (queue_.empty()) return false;
-  for (double t : server_free_at_) {
-    if (t <= now) return true;
+void BackendNode::Reset(size_t servers) {
+  head_ = 0;
+  count_ = 0;
+  if (server_free_at_.size() == servers) {
+    std::fill(server_free_at_.begin(), server_free_at_.end(), 0.0);
+  } else {
+    server_free_at_.assign(servers, 0.0);
   }
-  return false;
+  free_min_ = 0.0;
+  in_service_ = 0;
+  busy_seconds_ = 0.0;
+  completed_tasks_ = 0;
 }
 
-bool BackendNode::StartNext(double now, BackendTask* task,
-                            double* completion_time, double service_scale) {
-  if (queue_.empty()) return false;
-  // Earliest-free server.
-  size_t best = 0;
-  for (size_t i = 1; i < server_free_at_.size(); ++i) {
-    if (server_free_at_[i] < server_free_at_[best]) best = i;
+void BackendNode::Grow() {
+  const size_t old_size = ring_.size();
+  std::vector<BackendTask> bigger(std::max<size_t>(old_size * 2, 8));
+  for (size_t i = 0; i < count_; ++i) {
+    bigger[i] = ring_[(head_ + i) & mask_];
   }
-  const double start = std::max(now, server_free_at_[best]);
-  *task = queue_.front();
-  queue_.pop_front();
-  *completion_time = start + task->service_seconds * service_scale;
-  server_free_at_[best] = *completion_time;
-  ++in_service_;
-  return true;
+  ring_.swap(bigger);
+  mask_ = ring_.size() - 1;
+  head_ = 0;
 }
 
-std::vector<BackendTask> BackendNode::DrainQueue() {
-  std::vector<BackendTask> out(queue_.begin(), queue_.end());
-  queue_.clear();
-  return out;
+void BackendNode::DrainQueueInto(std::vector<BackendTask>* out) {
+  for (size_t i = 0; i < count_; ++i) {
+    out->push_back(ring_[(head_ + i) & mask_]);
+  }
+  head_ = 0;
+  count_ = 0;
 }
 
-std::vector<BackendTask> BackendNode::Crash() {
-  std::vector<BackendTask> out = DrainQueue();
+void BackendNode::Crash(std::vector<BackendTask>* out) {
+  DrainQueueInto(out);
   in_service_ = 0;
   std::fill(server_free_at_.begin(), server_free_at_.end(), 0.0);
-  return out;
-}
-
-void BackendNode::FinishOne(double busy_seconds) {
-  if (in_service_ > 0) --in_service_;
-  busy_seconds_ += busy_seconds;
-  ++completed_tasks_;
+  free_min_ = 0.0;
 }
 
 double BackendNode::NextFreeTime() const {

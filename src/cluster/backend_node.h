@@ -1,11 +1,19 @@
 // Simulated backend DBMS: a FIFO work queue with a configurable number of
 // parallel connections (servers), matching the prototype's
 // one-queue-per-backend design (Figure 3).
+//
+// The queue is a ring buffer over a flat vector (not std::deque): steady
+// state pushes and pops touch no allocator, and Reset() keeps the ring's
+// capacity so a reused node runs allocation-free after warm-up. The ring's
+// capacity is a power of two, so FIFO indexing is a mask, not a division.
+// The per-task operations (Enqueue, TryStart, FinishOne) are defined
+// inline here so the simulator's drain loop compiles them in place.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 namespace qcap {
@@ -22,45 +30,150 @@ class BackendNode {
  public:
   explicit BackendNode(size_t servers = 1) : server_free_at_(servers, 0.0) {}
 
+  /// Returns the node to its initial state with \p servers connections,
+  /// keeping the ring buffer's capacity (scratch reuse across runs).
+  void Reset(size_t servers);
+
   /// Number of queued-but-not-started tasks plus tasks in service: the
   /// "pending requests" the least-pending-first scheduler compares.
-  size_t pending() const { return queue_.size() + in_service_; }
+  size_t pending() const { return count_ + in_service_; }
 
+  // qcap-lint: hot-path begin
   /// Enqueues a task.
-  void Enqueue(const BackendTask& task) { queue_.push_back(task); }
+  void Enqueue(const BackendTask& task) {
+    if (count_ == ring_.size()) Grow();
+    ring_[(head_ + count_) & mask_] = task;
+    ++count_;
+  }
 
   /// True if a server is free at \p now and a task is waiting.
-  bool CanStart(double now) const;
+  bool CanStart(double now) const {
+    if (count_ == 0) return false;
+    for (double t : server_free_at_) {
+      if (t <= now) return true;
+    }
+    return false;
+  }
 
   /// Starts the next task on the earliest-free server; returns the task
   /// and its completion time via out-params. Requires CanStart(now) or a
   /// queued task (the start time is max(now, server free time)).
   /// \p service_scale stretches the task's service time (straggler mode).
   bool StartNext(double now, BackendTask* task, double* completion_time,
-                 double service_scale = 1.0);
+                 double service_scale = 1.0) {
+    if (count_ == 0) return false;
+    // Earliest-free server.
+    size_t best = 0;
+    for (size_t i = 1; i < server_free_at_.size(); ++i) {
+      if (server_free_at_[i] < server_free_at_[best]) best = i;
+    }
+    StartOn(best, std::max(now, server_free_at_[best]), task, completion_time,
+            service_scale);
+    RecomputeFreeMin();
+    return true;
+  }
+
+  /// CanStart + StartNext in one server scan: starts the next queued task
+  /// iff some server is free at \p now, reporting the chosen server in
+  /// \p *server (the simulator's completion-calendar slot). The
+  /// earliest-free server is free at \p now exactly when any server is, so
+  /// this dispatches the same task to the same server at the same start
+  /// time as the guarded pair.
+  bool TryStart(double now, BackendTask* task, double* completion_time,
+                double service_scale, size_t* server) {
+    if (count_ == 0 || free_min_ > now) return false;
+    // Free times are non-negative, so packing a time's IEEE-754 bit
+    // pattern above its server index gives one integer whose < order is
+    // the (time, first index) order — the min-reduce below compiles to
+    // branch-free compare/select chains instead of a mispredicting scan.
+    using Packed = unsigned __int128;
+    const double* f = server_free_at_.data();
+    const size_t n = server_free_at_.size();
+    auto pack = [](double t, size_t i) {
+      return (Packed{std::bit_cast<uint64_t>(t)} << 64) | i;
+    };
+    Packed best = pack(f[0], 0);
+    for (size_t i = 1; i < n; ++i) {
+      const Packed p = pack(f[i], i);
+      best = p < best ? p : best;
+    }
+    const size_t idx = static_cast<size_t>(static_cast<uint64_t>(best));
+    *server = idx;
+    StartOn(idx, now, task, completion_time, service_scale);
+    // Refresh the earliest-free cache with a plain min over the (just
+    // updated) free times: cheaper than tracking a runner-up inside the
+    // argmin reduce above.
+    double m = f[0];
+    for (size_t i = 1; i < n; ++i) m = std::min(m, f[i]);
+    free_min_ = m;
+    return true;
+  }
+
+  /// True iff a queued task could start right now: some server is free at
+  /// \p now (via the cached earliest free time) and the queue is
+  /// non-empty. O(1); lets the dispatcher skip the full start attempt on
+  /// saturated backends.
+  bool StartableAt(double now) const { return count_ != 0 && free_min_ <= now; }
 
   /// Marks one task completed (bookkeeping for pending()).
-  void FinishOne(double busy_seconds);
+  void FinishOne(double busy_seconds) {
+    if (in_service_ > 0) --in_service_;
+    busy_seconds_ += busy_seconds;
+    ++completed_tasks_;
+  }
+  // qcap-lint: hot-path end
 
-  /// Removes and returns all queued (not yet started) tasks — used when
-  /// the backend crashes.
-  std::vector<BackendTask> DrainQueue();
+  /// Removes all queued (not yet started) tasks, appending them to \p out
+  /// in FIFO order — used when the backend crashes.
+  void DrainQueueInto(std::vector<BackendTask>* out);
 
-  /// Crash: drains the queue (returned for re-dispatch / replica lag) and
-  /// resets the servers, forgetting in-flight work. Accumulated busy-time
-  /// accounting survives (the work done before the crash was real).
-  std::vector<BackendTask> Crash();
+  /// Crash: drains the queue into \p out (for re-dispatch / replica lag)
+  /// and resets the servers, forgetting in-flight work. Accumulated
+  /// busy-time accounting survives (work done before the crash was real).
+  void Crash(std::vector<BackendTask>* out);
 
   /// Earliest time any server becomes free.
   double NextFreeTime() const;
 
-  bool HasQueued() const { return !queue_.empty(); }
+  bool HasQueued() const { return count_ > 0; }
   double busy_seconds() const { return busy_seconds_; }
   uint64_t completed_tasks() const { return completed_tasks_; }
 
  private:
-  std::deque<BackendTask> queue_;
+  /// Doubles the ring (capacity stays a power of two), re-linearizing the
+  /// FIFO order.
+  void Grow();
+
+  // qcap-lint: hot-path begin
+  /// Dequeues the head task onto server \p best starting at \p start.
+  void StartOn(size_t best, double start, BackendTask* task,
+               double* completion_time, double service_scale) {
+    *task = ring_[head_];
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    *completion_time = start + task->service_seconds * service_scale;
+    server_free_at_[best] = *completion_time;
+    ++in_service_;
+  }
+  // qcap-lint: hot-path end
+
+  std::vector<BackendTask> ring_;  // FIFO: [head_, head_ + count_) & mask_.
+  size_t mask_ = 0;                // ring_.size() - 1 (size 0 before growth).
+  size_t head_ = 0;
+  size_t count_ = 0;
+  /// Larger than any simulated time; seeds min scans.
+  static constexpr double kNever = 1.0e300;
+
+  void RecomputeFreeMin() {
+    double m = server_free_at_[0];
+    for (size_t i = 1; i < server_free_at_.size(); ++i) {
+      if (server_free_at_[i] < m) m = server_free_at_[i];
+    }
+    free_min_ = m;
+  }
+
   std::vector<double> server_free_at_;
+  double free_min_ = 0.0;
   size_t in_service_ = 0;
   double busy_seconds_ = 0.0;
   uint64_t completed_tasks_ = 0;

@@ -104,6 +104,14 @@ class Controller {
   Result<SimStats> ProcessOpen(double duration_seconds, double arrival_rate,
                                const SimulationConfig& config) const;
 
+  /// Replication sweep of open-loop runs over the installed allocation:
+  /// \p sweep.repeat independent replications fanned out on a thread pool,
+  /// results[i] bit-identical to a serial run at seed
+  /// config.seed + i * sweep.seed_stride regardless of thread count.
+  Result<std::vector<SimStats>> ProcessOpenSweep(
+      double duration_seconds, double arrival_rate,
+      const SimulationConfig& config, const SweepOptions& sweep) const;
+
   /// Self-healing open-loop run: replays \p config's fault plan through the
   /// failure-detection loop. After every crash the controller re-checks
   /// k-safety of the surviving allocation (Algorithm 3); on a violation it

@@ -1,0 +1,17 @@
+#include "cluster/event_queue.h"
+
+namespace qcap {
+
+void EventQueue::Reserve(size_t capacity) {
+  arena_.reserve(capacity);
+  free_.reserve(capacity);
+  heap_.reserve(capacity);
+}
+
+void EventQueue::Clear() {
+  arena_.clear();
+  free_.clear();
+  heap_.clear();
+}
+
+}  // namespace qcap

@@ -1,0 +1,92 @@
+#include "cluster/pending_index.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qcap {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// First leaf position in [lo, hi) whose key equals \p m, descending the
+/// 1-indexed segment tree at \p t (node covers [node_lo, node_hi)).
+/// Subtree minima are >= m (m is the group minimum), so any subtree whose
+/// root differs from m is pruned whole; left-first descent returns the
+/// earliest position. Returns PendingIndex::kNone if no such leaf.
+size_t FindFirstAtMin(const uint64_t* t, size_t node, size_t node_lo,
+                      size_t node_hi, size_t lo, size_t hi, uint64_t m) {
+  if (node_hi <= lo || hi <= node_lo || t[node] != m) {
+    return PendingIndex::kNone;
+  }
+  if (node_hi - node_lo == 1) return node_lo;
+  const size_t mid = (node_lo + node_hi) / 2;
+  const size_t left =
+      FindFirstAtMin(t, 2 * node, node_lo, mid, lo, hi, m);
+  if (left != PendingIndex::kNone) return left;
+  return FindFirstAtMin(t, 2 * node + 1, mid, node_hi, lo, hi, m);
+}
+
+}  // namespace
+
+void PendingIndex::Build(
+    const std::vector<std::vector<size_t>>& candidates_per_class,
+    size_t num_backends) {
+  class_group_.assign(candidates_per_class.size(), 0);
+  groups_.clear();
+  cand_.clear();
+  tree_.clear();
+  keys_.assign(num_backends, 0);
+
+  // Classes sharing a candidate list share one tree.
+  std::map<std::vector<size_t>, size_t> dedup;
+  for (size_t r = 0; r < candidates_per_class.size(); ++r) {
+    const auto& candidates = candidates_per_class[r];
+    const auto inserted = dedup.emplace(candidates, groups_.size());
+    if (inserted.second) {
+      Group g;
+      g.count = candidates.size();
+      g.width = NextPow2(std::max<size_t>(g.count, 1));
+      g.cand_offset = cand_.size();
+      g.tree_offset = tree_.size();
+      cand_.insert(cand_.end(), candidates.begin(), candidates.end());
+      // Node 0 unused; leaves at [width, width + count); padding leaves
+      // beyond count stay at kDeadKey so they never win. Internal nodes
+      // are recomputed by every Pick, so their initial value is moot.
+      tree_.resize(g.tree_offset + 2 * g.width, kDeadKey);
+      groups_.push_back(g);
+    }
+    class_group_[r] = inserted.first->second;
+  }
+}
+
+void PendingIndex::ResetKeys() {
+  std::fill(keys_.begin(), keys_.end(), uint64_t{0});
+}
+
+// qcap-lint: hot-path begin
+size_t PendingIndex::Pick(size_t class_index, size_t start) {
+  const Group& g = groups_[class_group_[class_index]];
+  uint64_t* t = tree_.data() + g.tree_offset;
+  // Refresh from the current keys: real leaves then the internal mins,
+  // bottom-up over one contiguous block (padding leaves keep kDeadKey).
+  const size_t* cand = cand_.data() + g.cand_offset;
+  for (size_t pos = 0; pos < g.count; ++pos) {
+    t[g.width + pos] = keys_[cand[pos]];
+  }
+  for (size_t j = g.width - 1; j >= 1; --j) {
+    t[j] = std::min(t[2 * j], t[2 * j + 1]);
+  }
+  const uint64_t m = t[1];
+  if (m == kDeadKey) return kNone;
+  size_t pos = FindFirstAtMin(t, 1, 0, g.width, start, g.count, m);
+  if (pos == kNone) pos = FindFirstAtMin(t, 1, 0, g.width, 0, start, m);
+  return cand[pos];
+}
+// qcap-lint: hot-path end
+
+}  // namespace qcap

@@ -1,0 +1,83 @@
+// Least-pending read-dispatch index: per-read-class tournament (segment)
+// trees over backend pending counts, answering "least-pending alive
+// candidate, ties broken by the first candidate at the minimum in the
+// cyclic scan order starting at a rotation offset" in O(log B) — the exact
+// semantics of the scheduler's linear rotated scan, without touching every
+// candidate per dispatch.
+//
+// Classes with identical candidate lists share one tree (deduplicated into
+// groups). Key updates are lazy in the extreme: SetKey is one store, and
+// Pick rebuilds the queried group's small tree from the current keys
+// before descending it. An update-heavy workload changes pending counts
+// hundreds of times between two reads, so per-change tree maintenance is
+// wasted work; a rebuild touches 2*width contiguous words once per read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qcap {
+
+/// \brief Cyclic-argmin index over per-backend pending counts.
+///
+/// Copy-assignable with capacity reuse: the simulator keeps a pristine
+/// prototype (built once per Scheduler) and copies it into run scratch.
+class PendingIndex {
+ public:
+  /// Key of a crashed backend: larger than every real pending count, so a
+  /// dead candidate loses every comparison and an all-dead group reports
+  /// its minimum as kDeadKey.
+  static constexpr uint64_t kDeadKey = ~uint64_t{0};
+  /// Pick() result when every candidate of the class is dead.
+  static constexpr size_t kNone = ~size_t{0};
+
+  /// Builds the group structure from per-class candidate lists (each list
+  /// non-empty, backend ids < \p num_backends). All keys start at 0.
+  void Build(const std::vector<std::vector<size_t>>& candidates_per_class,
+             size_t num_backends);
+
+  /// Resets every key to 0 (alive, nothing pending) — run start.
+  void ResetKeys();
+
+  // qcap-lint: hot-path begin
+  /// Sets backend \p b's key (its pending count, or kDeadKey while
+  /// crashed). One store: the trees are refreshed by the next Pick that
+  /// reads them.
+  void SetKey(size_t b, uint64_t key) { keys_[b] = key; }
+  // qcap-lint: hot-path end
+
+  uint64_t key(size_t b) const { return keys_[b]; }
+
+  /// Candidate count of \p class_index's group (the rotation modulus).
+  size_t NumCandidates(size_t class_index) const {
+    return groups_[class_group_[class_index]].count;
+  }
+
+  /// Winning backend for \p class_index with rotation offset \p start in
+  /// [0, NumCandidates(class_index)): the first candidate in cyclic order
+  /// start, start+1, ..., start-1 whose key attains the minimum over the
+  /// class's candidates. kNone when every candidate is dead. Refreshes the
+  /// class's tree from the current keys first.
+  size_t Pick(size_t class_index, size_t start);
+
+  size_t num_classes() const { return class_group_.size(); }
+
+ private:
+  struct Group {
+    size_t tree_offset = 0;  // into tree_; nodes 1..2*width-1, 1-indexed.
+    size_t width = 0;        // leaf row width (power of two >= count).
+    size_t count = 0;        // real candidates (leaves [0, count)).
+    size_t cand_offset = 0;  // into cand_.
+  };
+
+  std::vector<size_t> class_group_;  // class -> group.
+  std::vector<Group> groups_;
+  std::vector<size_t> cand_;      // flattened candidate backend ids.
+  std::vector<uint64_t> tree_;    // all groups' trees, concatenated;
+                                  // rebuilt per Pick (padding leaves stay
+                                  // at kDeadKey so they never win).
+  std::vector<uint64_t> keys_;    // per-backend current key.
+};
+
+}  // namespace qcap

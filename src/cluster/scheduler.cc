@@ -32,19 +32,19 @@ Result<Scheduler> Scheduler::Build(const Classification& cls,
                                      " has no backend");
     }
   }
+  sched.index_prototype_.Build(sched.read_candidates_, alloc.num_backends());
+  sched.index_scratch_ = sched.index_prototype_;
   return sched;
 }
 
 size_t Scheduler::PickReadBackend(size_t r,
                                   const std::vector<size_t>& pending) {
   const auto& candidates = read_candidates_[r];
-  const size_t start = rotation_++ % candidates.size();
-  size_t best = candidates[start];
-  for (size_t i = 1; i < candidates.size(); ++i) {
-    const size_t b = candidates[(start + i) % candidates.size()];
-    if (pending[b] < pending[best]) best = b;
+  for (size_t b : candidates) {
+    index_scratch_.SetKey(b, pending[b]);
   }
-  return best;
+  const size_t start = rotation_++ % candidates.size();
+  return index_scratch_.Pick(r, start);
 }
 
 }  // namespace qcap

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "cluster/pending_index.h"
 #include "common/status.h"
 #include "model/allocation.h"
 #include "workload/query_class.h"
@@ -33,12 +34,22 @@ class Scheduler {
 
   /// Least-pending-first choice among \p r's candidates given the current
   /// per-backend pending counts. Ties rotate round-robin so equal queues
-  /// share the load instead of piling onto the lowest index.
+  /// share the load instead of piling onto the lowest index. Backed by the
+  /// same PendingIndex the simulator's dispatch uses — one implementation
+  /// of the tie-break semantics, not two.
   size_t PickReadBackend(size_t r, const std::vector<size_t>& pending);
+
+  /// Pristine O(log B) least-pending index over the read candidate lists
+  /// (all keys 0). The simulator copies it into run scratch and keeps the
+  /// keys in sync with backend pending counts and liveness.
+  const PendingIndex& pending_index() const { return index_prototype_; }
 
  private:
   std::vector<std::vector<size_t>> read_candidates_;
   std::vector<std::vector<size_t>> update_targets_;
+  /// Never mutated after Build (PickReadBackend works on a scratch copy).
+  PendingIndex index_prototype_;
+  PendingIndex index_scratch_;
   size_t rotation_ = 0;
 };
 

@@ -1,0 +1,165 @@
+// Completion calendar for the simulator's fast path. Every simulated
+// server (backend connection) runs at most one task at a time, so at most
+// one completion event per server is outstanding: the pending completions
+// form a fixed-size set indexed by server (slot), not an unbounded queue.
+//
+// The calendar is two flat argmin levels, ordered by the simulator's
+// (time, seq) total order packed into one 128-bit integer key:
+//
+//   - per backend, the min key over its contiguous block of server slots,
+//     recomputed by a short branch-free scan when a slot changes;
+//   - globally, the min over the per-backend minima, recomputed by one
+//     branch-free scan per pop.
+//
+// Both scans issue their loads independently (no level-to-level store/load
+// chain, unlike a tournament-tree replay) and select with conditional
+// moves, which measures faster than either a d-ary heap or a winner tree
+// at simulation scale (tens of servers).
+//
+// Rare events that do not fit the one-per-server shape — faults, retries,
+// open-loop arrivals, completions displaced by a crash, and boundary-time
+// double bookings — live in the pooled EventQueue instead; the simulator
+// merges the two sources by (time, seq) at pop, so the global processing
+// order is exactly the one a single event heap would produce.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qcap {
+
+/// Payload of one in-service task's completion.
+struct ServerEvent {
+  uint64_t request_id = 0;
+  uint32_t epoch = 0;    // backend epoch at task start (small: it counts
+                         // the backend's crash/recover events).
+  uint32_t backend = 0;  // owning backend (slot / servers_per_backend).
+  double busy_seconds = 0.0;  // actual (degrade-scaled) service time.
+  double base_service = 0.0;  // nominal service time.
+};
+
+/// \brief One-completion-per-server two-level argmin calendar.
+///
+/// Reset() keeps all container capacity, so a calendar reused across runs
+/// allocates nothing after the first.
+class ServerCalendar {
+ public:
+  /// Packed (time, seq) comparison key. Simulated times are non-negative,
+  /// so the IEEE-754 bit pattern of the time orders like the double; with
+  /// seq next, one 128-bit integer compare decides the full lexicographic
+  /// (time, seq) order branchlessly. The low 16 bits are left open for the
+  /// slot index: the calendar's per-slot keys OR it in, so an argmin scan
+  /// over keys yields the winning slot in the winner's low bits with no
+  /// separate index-select chain. Distinct events have distinct seq, so
+  /// order between real keys is decided above bit 16 and the slot bits
+  /// never influence a comparison that matters (seq must stay below 2^48 —
+  /// it counts events within one run).
+  using Key = unsigned __int128;
+  /// Key of an idle server: above every real key (a real time's bit
+  /// pattern is at most the infinity pattern, which has zeros in the
+  /// mantissa, and no real event carries an all-ones seq).
+  static constexpr Key kIdleKey = ~Key{0};
+
+  static Key MakeKey(double time, uint64_t seq) {
+    return (Key{std::bit_cast<uint64_t>(time)} << 64) | (seq << 16);
+  }
+
+  /// Sizes the calendar for \p num_backends blocks of \p servers_per_backend
+  /// slots each (slot = backend * servers_per_backend + server), all idle.
+  void Reset(size_t num_backends, size_t servers_per_backend) {
+    num_backends_ = num_backends;
+    spb_ = servers_per_backend;
+    stale_ = kNone_;
+    top_slot_ = 0;
+    key_.assign(num_backends * servers_per_backend, kIdleKey);
+    events_.assign(num_backends * servers_per_backend, ServerEvent{});
+    backend_key_.assign(num_backends, kIdleKey);
+  }
+
+  // qcap-lint: hot-path begin
+  /// Key of the earliest outstanding completion; kIdleKey if none. Also
+  /// latches the winning slot for top_server() (the winner's low 16 bits
+  /// are its slot index, so the scan is one compare/select per backend).
+  Key top_key() {
+    if (stale_ != kNone_) {
+      RecomputeBackend(stale_);
+      stale_ = kNone_;
+    }
+    const Key* bk = backend_key_.data();
+    Key best = bk[0];
+    for (size_t b = 1; b < num_backends_; ++b) {
+      best = bk[b] < best ? bk[b] : best;
+    }
+    top_slot_ = static_cast<uint16_t>(static_cast<uint64_t>(best));
+    return best;
+  }
+  /// The slot holding the earliest completion. Valid after a top_key()
+  /// call that did not report idle.
+  size_t top_server() const { return top_slot_; }
+
+  bool occupied(size_t slot) const { return key_[slot] != kIdleKey; }
+  const ServerEvent& event(size_t slot) const { return events_[slot]; }
+  /// Completion time of an occupied slot, decoded from its key (the
+  /// payload does not repeat time/seq — 32-byte events copy and index
+  /// cheaper than 56-byte ones).
+  double slot_time(size_t slot) const {
+    return std::bit_cast<double>(static_cast<uint64_t>(key_[slot] >> 64));
+  }
+  /// Tie-break seq of an occupied slot, decoded from its key.
+  uint64_t slot_seq(size_t slot) const {
+    return static_cast<uint64_t>(key_[slot]) >> 16;
+  }
+
+  /// Schedules \p slot's completion on \p backend (the slot's owning
+  /// block, passed in because every caller already has it — deriving it
+  /// would put a division on the hot path). Requires !occupied(slot).
+  void Schedule(size_t slot, size_t backend, double time, uint64_t seq,
+                const ServerEvent& e) {
+    events_[slot] = e;
+    key_[slot] = MakeKey(time, seq) | slot;
+    // A deferred Clear on the same backend is absorbed by this recompute;
+    // one on another backend must flush first.
+    if (stale_ != kNone_ && stale_ != backend) RecomputeBackend(stale_);
+    stale_ = kNone_;
+    RecomputeBackend(backend);
+  }
+
+  /// Marks \p slot idle (its completion was popped or displaced). The
+  /// backend's min is refreshed lazily: the common pop/finish/start cycle
+  /// immediately re-schedules a slot of the same backend, fusing the two
+  /// recomputes into one.
+  void Clear(size_t slot, size_t backend) {
+    key_[slot] = kIdleKey;
+    if (stale_ != kNone_ && stale_ != backend) RecomputeBackend(stale_);
+    stale_ = backend;
+  }
+  // qcap-lint: hot-path end
+
+ private:
+  // qcap-lint: hot-path begin
+  /// Branch-free min over \p backend's slot block. Real keys are unique
+  /// (seq is), so ties arise only between idle slots, whose slot bits are
+  /// never read. The winning key carries its slot in the low 16 bits.
+  void RecomputeBackend(size_t backend) {
+    const Key* k = key_.data() + backend * spb_;
+    Key best = k[0];
+    for (size_t i = 1; i < spb_; ++i) {
+      best = k[i] < best ? k[i] : best;
+    }
+    backend_key_[backend] = best;
+  }
+  // qcap-lint: hot-path end
+
+  static constexpr size_t kNone_ = ~size_t{0};
+  size_t num_backends_ = 0;
+  size_t spb_ = 1;                   // servers (slots) per backend.
+  size_t stale_ = kNone_;            // backend with a deferred recompute.
+  uint16_t top_slot_ = 0;            // latched by top_key().
+  std::vector<Key> key_;             // per-slot packed key or kIdleKey.
+  std::vector<ServerEvent> events_;  // per-slot payload.
+  std::vector<Key> backend_key_;     // per-backend min key (slot in low bits).
+};
+
+}  // namespace qcap

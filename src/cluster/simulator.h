@@ -6,9 +6,17 @@
 // cost model. Deterministic for a given seed, including the full failure/
 // recovery lifecycle (FaultPlan crash/recover/degrade events and the
 // retry/backoff re-dispatch of work stranded by a crash).
+//
+// The event core is built for throughput (docs/ARCHITECTURE.md, "Simulator
+// event core"): a pooled 4-ary event calendar (EventQueue), an O(log B)
+// least-pending dispatch index (PendingIndex), lazy Poisson arrival
+// generation (memory O(in-flight), bit-identical to the eager generator),
+// pooled request slots, and run scratch that is reused across runs so the
+// drain loop allocates nothing in steady state.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cluster/fault_plan.h"
@@ -21,6 +29,8 @@
 #include "workload/query_class.h"
 
 namespace qcap {
+
+class ThreadPool;
 
 /// Update-synchronization protocol (Section 2 discusses ROWA; primary copy
 /// and lazy replication are the alternatives the paper notes "could be
@@ -93,6 +103,20 @@ struct SimulationConfig {
   double timeline_bin_seconds = 0.0;
 };
 
+/// Options for RunClosedSweep/RunOpenSweep replication fans.
+struct SweepOptions {
+  /// Number of independent replications; replication i runs with seed
+  /// config.seed + i * seed_stride. Must be >= 1.
+  size_t repeat = 1;
+  uint64_t seed_stride = 1;
+  /// Worker threads to spawn when \ref pool is null; <= 1 runs serially.
+  /// Results are bit-identical at any thread count (each replication is
+  /// fully independent and lands in its submission-order slot).
+  size_t threads = 0;
+  /// Optional shared pool (not owned); overrides \ref threads.
+  ThreadPool* pool = nullptr;
+};
+
 /// \brief Event-driven cluster simulator over a fixed allocation.
 class ClusterSimulator {
  public:
@@ -102,15 +126,45 @@ class ClusterSimulator {
                                          const std::vector<BackendSpec>& backends,
                                          const SimulationConfig& config);
 
+  ClusterSimulator(ClusterSimulator&&) noexcept;
+  ClusterSimulator& operator=(ClusterSimulator&&) = delete;
+  ~ClusterSimulator();
+
   /// Closed-loop run: keeps \p concurrency logical requests outstanding
   /// until \p num_requests have been issued; measures saturated throughput
   /// (the paper's fixed-request-count test runs).
   Result<SimStats> RunClosed(uint64_t num_requests, size_t concurrency);
+  /// As above, writing into \p *out (every field assigned). Reusing the
+  /// same \p out lets repeated runs recycle its vector capacity — with the
+  /// internal scratch reuse this makes steady-state runs allocation-free.
+  Status RunClosed(uint64_t num_requests, size_t concurrency, SimStats* out);
 
   /// Open-loop run: Poisson arrivals at \p arrival_rate requests/second for
   /// \p duration_seconds; measures response times under a target load (the
-  /// Section 5 elasticity experiments).
+  /// Section 5 elasticity experiments). Arrival events are generated
+  /// lazily (one outstanding arrival, drawn on pop), so memory is
+  /// O(in-flight requests), not O(total requests).
   Result<SimStats> RunOpen(double duration_seconds, double arrival_rate);
+  /// As above, writing into \p *out (see the closed-loop overload).
+  Status RunOpen(double duration_seconds, double arrival_rate, SimStats* out);
+
+  /// Replication sweep: \p sweep.repeat independent closed-loop runs with
+  /// seeds config.seed + i * seed_stride, fanned out on a ThreadPool.
+  /// results[i] is bit-identical to a serial run at that seed, at any
+  /// thread count.
+  Result<std::vector<SimStats>> RunClosedSweep(uint64_t num_requests,
+                                               size_t concurrency,
+                                               const SweepOptions& sweep) const;
+  /// Replication sweep of open-loop runs (see RunClosedSweep).
+  Result<std::vector<SimStats>> RunOpenSweep(double duration_seconds,
+                                             double arrival_rate,
+                                             const SweepOptions& sweep) const;
+
+  /// Reseeds workload sampling for subsequent runs. The only post-Create
+  /// mutation: everything else about the configuration is fixed, which is
+  /// what lets call sites cache and reuse simulators across runs.
+  void set_seed(uint64_t seed) { config_.seed = seed; }
+  uint64_t seed() const { return config_.seed; }
 
  private:
   ClusterSimulator(const Classification& cls, const Allocation& alloc,
@@ -123,29 +177,40 @@ class ClusterSimulator {
   /// Samples a class index in [0, reads+updates) by execution frequency.
   size_t SampleClass(Rng* rng) const;
   DispatchOutcome Dispatch(RunState* state, uint64_t request_id,
-                           size_t class_index, double now);
-  void StartReady(RunState* state, size_t backend, double now);
+                           size_t class_index, double now) const;
+  void StartReady(RunState* state, size_t backend, double now) const;
   /// A crash destroyed \p request_id's work on \p backend with base service
   /// time \p service_seconds: schedules a retry, accumulates replica lag,
   /// or fails the request per the retry policy. Returns true iff this
   /// reached a terminal state (failed, or an update completed on its
   /// surviving replicas).
   bool HandleLostWork(RunState* state, uint64_t request_id, size_t backend,
-                      double service_seconds, double now);
+                      double service_seconds, double now) const;
   /// Retry-budget bookkeeping: schedules the next attempt or fails the
   /// request. Returns true iff the request failed terminally.
-  bool ScheduleRetry(RunState* state, uint64_t request_id, double now);
+  bool ScheduleRetry(RunState* state, uint64_t request_id, double now) const;
   /// Applies one fault event; returns how many logical requests reached a
   /// terminal state as a direct consequence (crash-stranded work).
-  size_t ApplyFault(RunState* state, const FaultEvent& fault, double now);
-  /// Merges config_.failures into config_.fault_plan, validates, and seeds
-  /// \p state with nodes/events. Shared by both run modes.
-  Status InitRun(RunState* state);
+  size_t ApplyFault(RunState* state, const FaultEvent& fault, double now) const;
+  /// Resets \p state and seeds it with nodes, the pending index, and the
+  /// pre-merged fault schedule. Shared by both run modes.
+  Status InitRun(RunState* state) const;
+  /// Open loop: pushes the next lazy Poisson arrival event, or marks the
+  /// stream exhausted once the drawn time passes the horizon.
+  void ScheduleNextArrival(RunState* state) const;
   /// Drains the event queue; \p issue_next is invoked (closed loop) every
   /// time a logical request reaches a terminal state.
   template <typename IssueNext>
-  void DrainEvents(RunState* state, Rng* rng, const IssueNext& issue_next);
-  SimStats Finish(const RunState& state) const;
+  void DrainEvents(RunState* state, Rng* rng, const IssueNext& issue_next) const;
+  /// Writes run results into \p *out, assigning every SimStats field.
+  void FinishInto(RunState* state, SimStats* out) const;
+
+  Status RunClosedInto(RunState* state, uint64_t seed, uint64_t num_requests,
+                       size_t concurrency, SimStats* out) const;
+  Status RunOpenInto(RunState* state, uint64_t seed, double duration_seconds,
+                     double arrival_rate, SimStats* out) const;
+  /// Lazily-allocated scratch reused by the serial Run* entry points.
+  RunState* Scratch();
 
   const Classification& cls_;
   const Allocation& alloc_;
@@ -154,8 +219,18 @@ class ClusterSimulator {
   Scheduler scheduler_;
   /// service_[class][backend], reads first then updates.
   std::vector<std::vector<double>> service_;
+  /// Row-major copy of service_ (stride = num backends): one indexed load
+  /// per lookup on the dispatch fast path.
+  std::vector<double> service_flat_;
   /// Sampling frequencies per class (reads first then updates).
   std::vector<double> frequency_;
+  /// Sum of frequency_, hoisted for the per-request class draw.
+  double frequency_total_ = 0.0;
+  /// fault_plan + legacy failures, merged, validated and sorted once at
+  /// construction (the schedule is per-config, not per-run).
+  std::vector<FaultEvent> faults_;
+  Status fault_status_;
+  std::unique_ptr<RunState> scratch_;
 };
 
 }  // namespace qcap

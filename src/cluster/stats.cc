@@ -48,16 +48,50 @@ std::string SearchProgress::ToString() const {
          (std::isinf(scale) ? std::string("inf") : FormatDouble(scale, 4));
 }
 
-double ResponseAccumulator::Percentile(double p) const {
-  if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = samples_;
-  const size_t n = sorted.size();
+namespace {
+
+/// Nearest-rank index (0-based) of percentile \p p among \p n samples.
+size_t NearestRankIndex(double p, size_t n) {
   const double clamped = std::min(std::max(p, 0.0), 1.0);
   size_t rank = static_cast<size_t>(std::ceil(clamped * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
-  std::nth_element(sorted.begin(), sorted.begin() + (rank - 1), sorted.end());
-  return sorted[rank - 1];
+  return rank - 1;
+}
+
+}  // namespace
+
+double ResponseAccumulator::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  const size_t k = NearestRankIndex(p, sorted.size());
+  std::nth_element(sorted.begin(), sorted.begin() + k, sorted.end());
+  return sorted[k];
+}
+
+void ResponseAccumulator::Percentiles(std::vector<double>* scratch,
+                                      double* p50, double* p95,
+                                      double* p99) const {
+  if (samples_.empty()) {
+    *p50 = *p95 = *p99 = 0.0;
+    return;
+  }
+  *scratch = samples_;
+  const size_t n = scratch->size();
+  const size_t k50 = NearestRankIndex(0.50, n);
+  const size_t k95 = NearestRankIndex(0.95, n);
+  const size_t k99 = NearestRankIndex(0.99, n);
+  // Nested selections: after placing the k50-th order statistic, everything
+  // left of it is <= everything right, so the later (larger-rank) selections
+  // only need the tail range. Order-statistic values are range-independent,
+  // so each equals the value a full sort would put at that index.
+  auto begin = scratch->begin();
+  std::nth_element(begin, begin + k50, scratch->end());
+  *p50 = (*scratch)[k50];
+  std::nth_element(begin + k50, begin + k95, scratch->end());
+  *p95 = (*scratch)[k95];
+  std::nth_element(begin + k95, begin + k99, scratch->end());
+  *p99 = (*scratch)[k99];
 }
 
 double SimStats::BusyBalanceDeviation(

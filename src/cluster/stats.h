@@ -112,8 +112,25 @@ class ResponseAccumulator {
   double max() const { return max_; }
   uint64_t count() const { return samples_.size(); }
 
+  /// Drops all samples, keeping their capacity (scratch reuse across runs).
+  void Reset() {
+    sum_ = 0.0;
+    max_ = 0.0;
+    samples_.clear();
+  }
+  /// Pre-grows sample storage for \p n Add() calls.
+  void Reserve(size_t n) { samples_.reserve(n); }
+
   /// Nearest-rank percentile for \p p in (0, 1]; 0 when no samples.
   double Percentile(double p) const;
+
+  /// p50/p95/p99 in one call: copies the samples into \p *scratch (reused,
+  /// capacity kept) and runs three progressive nth_element selections, each
+  /// restricted to the tail the previous one partitioned — same values as
+  /// three Percentile() calls at a fraction of the selection work and no
+  /// per-call allocation once \p scratch is warm.
+  void Percentiles(std::vector<double>* scratch, double* p50, double* p95,
+                   double* p99) const;
 
  private:
   double sum_ = 0.0;

@@ -21,14 +21,26 @@ class Rng {
   /// Constructs a generator from a 64-bit \p seed.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  // qcap-lint: hot-path begin
   /// Next raw 64-bit value.
-  uint64_t Next();
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+  // qcap-lint: hot-path end
 
   /// Uniform integer in [0, bound). \p bound must be > 0.
   uint64_t NextBounded(uint64_t bound);
 
   /// Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
 
   /// Uniform double in [lo, hi).
   double NextDouble(double lo, double hi);
@@ -57,6 +69,8 @@ class Rng {
   }
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
   bool have_gauss_ = false;
   double gauss_cache_ = 0.0;

@@ -1,0 +1,137 @@
+#include "cluster/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+
+namespace qcap {
+namespace {
+
+// Reference ordering: the std::priority_queue<SimEvent> the simulator used
+// before the pooled queue, with the same (time, seq) min-first comparator.
+struct After {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+using ReferenceQueue =
+    std::priority_queue<SimEvent, std::vector<SimEvent>, After>;
+
+SimEvent MakeEvent(double time, uint64_t seq) {
+  SimEvent ev;
+  ev.time = time;
+  ev.seq = seq;
+  ev.kind = SimEvent::Kind::kRetry;
+  ev.backend = static_cast<size_t>(seq % 7);
+  ev.request_id = seq * 31;
+  ev.epoch = seq % 5;
+  ev.busy_seconds = time * 0.5;
+  ev.base_service = time * 0.25;
+  return ev;
+}
+
+void ExpectSameEvent(const SimEvent& got, const SimEvent& want) {
+  EXPECT_EQ(got.time, want.time);
+  EXPECT_EQ(got.seq, want.seq);
+  EXPECT_EQ(got.kind, want.kind);
+  EXPECT_EQ(got.backend, want.backend);
+  EXPECT_EQ(got.request_id, want.request_id);
+  EXPECT_EQ(got.epoch, want.epoch);
+  EXPECT_EQ(got.busy_seconds, want.busy_seconds);
+  EXPECT_EQ(got.base_service, want.base_service);
+}
+
+TEST(EventQueueTest, PopOrderMatchesPriorityQueueOnRandomStreams) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue queue;
+    ReferenceQueue reference;
+    // Coarse times force frequent exact ties, exercising the seq
+    // tie-break; seq values stay unique as in the simulator.
+    const size_t n = 1 + rng.Next() % 400;
+    for (uint64_t seq = 0; seq < n; ++seq) {
+      const double time =
+          static_cast<double>(rng.Next() % 50) * 0.125;
+      queue.Push(MakeEvent(time, seq));
+      reference.push(MakeEvent(time, seq));
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+    SimEvent got;
+    while (!reference.empty()) {
+      queue.Pop(&got);
+      ExpectSameEvent(got, reference.top());
+      reference.pop();
+    }
+    EXPECT_TRUE(queue.empty());
+  }
+}
+
+TEST(EventQueueTest, InterleavedPushPopMatchesPriorityQueue) {
+  Rng rng(13);
+  EventQueue queue;
+  ReferenceQueue reference;
+  uint64_t seq = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const bool push = reference.empty() || rng.Next() % 3 != 0;
+    if (push) {
+      const double time = static_cast<double>(rng.Next() % 97) * 0.25;
+      queue.Push(MakeEvent(time, seq));
+      reference.push(MakeEvent(time, seq));
+      ++seq;
+    } else {
+      SimEvent got;
+      queue.Pop(&got);
+      ExpectSameEvent(got, reference.top());
+      reference.pop();
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+}
+
+TEST(EventQueueTest, PayloadSurvivesArenaRecycling) {
+  EventQueue queue;
+  queue.Reserve(4);
+  // Fill, drain (slots go to the free list), then refill: recycled slots
+  // must return the new payloads, not stale ones.
+  for (uint64_t seq = 0; seq < 4; ++seq) {
+    queue.Push(MakeEvent(1.0 + static_cast<double>(seq), seq));
+  }
+  SimEvent got;
+  for (uint64_t seq = 0; seq < 4; ++seq) {
+    queue.Pop(&got);
+    ExpectSameEvent(got, MakeEvent(1.0 + static_cast<double>(seq), seq));
+  }
+  for (uint64_t seq = 10; seq < 14; ++seq) {
+    queue.Push(MakeEvent(2.0 + static_cast<double>(seq), seq));
+  }
+  for (uint64_t seq = 10; seq < 14; ++seq) {
+    queue.Pop(&got);
+    ExpectSameEvent(got, MakeEvent(2.0 + static_cast<double>(seq), seq));
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, ClearKeepsQueueUsable) {
+  EventQueue queue;
+  for (uint64_t seq = 0; seq < 100; ++seq) {
+    queue.Push(MakeEvent(static_cast<double>(seq % 11), seq));
+  }
+  queue.Clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  queue.Push(MakeEvent(3.0, 1));
+  queue.Push(MakeEvent(3.0, 0));
+  SimEvent got;
+  queue.Pop(&got);
+  EXPECT_EQ(got.seq, 0u);
+  queue.Pop(&got);
+  EXPECT_EQ(got.seq, 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace qcap

@@ -185,6 +185,38 @@ TEST(SimulatorTest, RejectsBadRunArguments) {
   EXPECT_FALSE(sim->RunOpen(10.0, 0.0).ok());
 }
 
+TEST(SimulatorTest, RejectedDispatchDoesNotAdvanceTieRotation) {
+  // Pins the tie-rotation fix: a dispatch that fails (every candidate of
+  // the class dead) must not consume a rotation step, or each rejection
+  // would silently shift every later tie-break. RA's two candidates tie
+  // constantly; RB's only backend is crashed at t=0, so its requests are
+  // all rejected. With rejections consuming rotation steps, RA's
+  // alternation breaks and one backend collects about twice the work of
+  // the other; with the fix the two stay within one service time.
+  Classification cls;
+  ASSERT_TRUE(cls.catalog.Add("A", "A", FragmentKind::kTable, 1.0).ok());
+  ASSERT_TRUE(cls.catalog.Add("B", "B", FragmentKind::kTable, 1.0).ok());
+  cls.reads = {QueryClass{{0}, 0.5, 0.010, false, "RA", {}},
+               QueryClass{{1}, 0.5, 0.010, false, "RB", {}}};
+  Allocation a(3, 2, 2, 0);
+  a.Place(0, 0);  // b0: A.
+  a.Place(1, 0);  // b1: A.
+  a.Place(2, 1);  // b2: B.
+  SimulationConfig config = LightConfig();
+  config.fault_plan.events = {FaultEvent{FaultEvent::Kind::kCrash, 0.0, 2}};
+  config.retry.max_attempts = 1;
+  auto sim =
+      ClusterSimulator::Create(cls, a, HomogeneousBackends(3), config);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  auto stats = sim->RunClosed(400, 1);
+  ASSERT_TRUE(stats.ok());
+  // The crashed class really was offered and rejected throughout the run.
+  EXPECT_GT(stats->rejected_requests, 50u);
+  ASSERT_EQ(stats->backend_busy_seconds.size(), 3u);
+  EXPECT_NEAR(stats->backend_busy_seconds[0], stats->backend_busy_seconds[1],
+              0.010 + 1e-12);
+}
+
 TEST(SimStatsTest, BusyBalanceDeviation) {
   SimStats stats;
   stats.backend_busy_seconds = {10.0, 10.0};

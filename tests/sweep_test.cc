@@ -1,0 +1,172 @@
+// Determinism tests for the replication-sweep harness: sweep results must
+// be bit-identical to serial runs at the same seeds, at any thread count,
+// with or without a fault plan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc/greedy.h"
+#include "cluster/simulator.h"
+#include "common/thread_pool.h"
+#include "test_util.h"
+
+namespace qcap {
+namespace {
+
+// Every field, including vectors, compared exactly: the contract is
+// bitwise reproducibility, not approximate equality.
+void ExpectSameStats(const SimStats& got, const SimStats& want) {
+  EXPECT_EQ(got.duration_seconds, want.duration_seconds);
+  EXPECT_EQ(got.completed_reads, want.completed_reads);
+  EXPECT_EQ(got.completed_updates, want.completed_updates);
+  EXPECT_EQ(got.failed_requests, want.failed_requests);
+  EXPECT_EQ(got.rejected_requests, want.rejected_requests);
+  EXPECT_EQ(got.retried_requests, want.retried_requests);
+  EXPECT_EQ(got.redispatched_requests, want.redispatched_requests);
+  EXPECT_EQ(got.lag_tasks_drained, want.lag_tasks_drained);
+  EXPECT_EQ(got.throughput, want.throughput);
+  EXPECT_EQ(got.avg_response_seconds, want.avg_response_seconds);
+  EXPECT_EQ(got.max_response_seconds, want.max_response_seconds);
+  EXPECT_EQ(got.p50_response_seconds, want.p50_response_seconds);
+  EXPECT_EQ(got.p95_response_seconds, want.p95_response_seconds);
+  EXPECT_EQ(got.p99_response_seconds, want.p99_response_seconds);
+  EXPECT_EQ(got.availability, want.availability);
+  EXPECT_EQ(got.backend_busy_seconds, want.backend_busy_seconds);
+  EXPECT_EQ(got.timeline_bin_seconds, want.timeline_bin_seconds);
+  EXPECT_EQ(got.timeline_completions, want.timeline_completions);
+}
+
+Result<ClusterSimulator> MakeSimulator(const Classification& cls,
+                                       const Allocation& alloc,
+                                       const std::vector<BackendSpec>& backends,
+                                       bool with_faults) {
+  SimulationConfig config;
+  config.servers_per_backend = 2;
+  config.seed = 11;
+  config.timeline_bin_seconds = 1.0;
+  if (with_faults) {
+    config.fault_plan.events = {
+        FaultEvent{FaultEvent::Kind::kCrash, 0.05, 1, 1.0},
+        FaultEvent{FaultEvent::Kind::kRecover, 0.3, 1, 1.0},
+    };
+    config.retry.max_attempts = 3;
+  }
+  return ClusterSimulator::Create(cls, alloc, backends, config);
+}
+
+class SweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cls_ = testutil::AppendixAClassification();
+    backends_ = HomogeneousBackends(4);
+    GreedyAllocator greedy;
+    auto alloc = greedy.Allocate(cls_, backends_);
+    ASSERT_TRUE(alloc.ok()) << alloc.status().ToString();
+    alloc_ = std::move(alloc).value();
+  }
+
+  Classification cls_;
+  std::vector<BackendSpec> backends_;
+  Allocation alloc_;
+};
+
+TEST_F(SweepTest, ClosedSweepMatchesSerialRunsPerSeed) {
+  auto sim = MakeSimulator(cls_, alloc_, backends_, false);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  SweepOptions sweep;
+  sweep.repeat = 4;
+  sweep.threads = 3;
+  auto runs = sim->RunClosedSweep(400, 8, sweep);
+  ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+  ASSERT_EQ(runs->size(), 4u);
+  for (size_t i = 0; i < runs->size(); ++i) {
+    auto serial = MakeSimulator(cls_, alloc_, backends_, false);
+    ASSERT_TRUE(serial.ok());
+    serial->set_seed(11 + i);
+    auto want = serial->RunClosed(400, 8);
+    ASSERT_TRUE(want.ok());
+    ExpectSameStats((*runs)[i], want.value());
+  }
+}
+
+TEST_F(SweepTest, OpenSweepIsThreadCountInvariant) {
+  auto sim = MakeSimulator(cls_, alloc_, backends_, false);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  ThreadPool shared(2);
+  std::vector<SweepOptions> variants(4);
+  variants[0].threads = 0;  // Serial.
+  variants[1].threads = 1;
+  variants[2].threads = 3;
+  variants[3].pool = &shared;
+  std::vector<std::vector<SimStats>> results;
+  for (SweepOptions& sweep : variants) {
+    sweep.repeat = 5;
+    auto runs = sim->RunOpenSweep(0.5, 500.0, sweep);
+    ASSERT_TRUE(runs.ok()) << runs.status().ToString();
+    ASSERT_EQ(runs->size(), 5u);
+    results.push_back(std::move(runs).value());
+  }
+  for (size_t v = 1; v < results.size(); ++v) {
+    for (size_t i = 0; i < results[v].size(); ++i) {
+      ExpectSameStats(results[v][i], results[0][i]);
+    }
+  }
+}
+
+TEST_F(SweepTest, FaultPlanSweepStaysDeterministicAcrossThreads) {
+  auto sim = MakeSimulator(cls_, alloc_, backends_, true);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  SweepOptions serial;
+  serial.repeat = 4;
+  serial.threads = 0;
+  SweepOptions threaded;
+  threaded.repeat = 4;
+  threaded.threads = 4;
+  auto want = sim->RunOpenSweep(0.6, 400.0, serial);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  auto got = sim->RunOpenSweep(0.6, 400.0, threaded);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), want->size());
+  bool saw_fault_handling = false;
+  for (size_t i = 0; i < got->size(); ++i) {
+    ExpectSameStats((*got)[i], (*want)[i]);
+    saw_fault_handling = saw_fault_handling ||
+                         (*got)[i].retried_requests > 0 ||
+                         (*got)[i].lag_tasks_drained > 0;
+  }
+  // The crash/recover schedule must actually exercise the retry and
+  // lag-drain machinery, or this test is vacuous.
+  EXPECT_TRUE(saw_fault_handling);
+}
+
+TEST_F(SweepTest, RepeatedSweepsAreReproducible) {
+  auto sim = MakeSimulator(cls_, alloc_, backends_, false);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  SweepOptions sweep;
+  sweep.repeat = 3;
+  sweep.threads = 2;
+  auto first = sim->RunClosedSweep(300, 6, sweep);
+  ASSERT_TRUE(first.ok());
+  // Re-running on the same simulator reuses its warm scratch; results must
+  // not depend on that history.
+  auto second = sim->RunClosedSweep(300, 6, sweep);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    ExpectSameStats((*second)[i], (*first)[i]);
+  }
+}
+
+TEST_F(SweepTest, ZeroRepeatIsRejected) {
+  auto sim = MakeSimulator(cls_, alloc_, backends_, false);
+  ASSERT_TRUE(sim.ok());
+  SweepOptions sweep;
+  sweep.repeat = 0;
+  auto closed = sim->RunClosedSweep(100, 4, sweep);
+  EXPECT_FALSE(closed.ok());
+  auto open = sim->RunOpenSweep(0.2, 100.0, sweep);
+  EXPECT_FALSE(open.ok());
+}
+
+}  // namespace
+}  // namespace qcap
