@@ -51,7 +51,14 @@ std::string SearchProgress::ToString() const {
 namespace {
 
 /// Nearest-rank index (0-based) of percentile \p p among \p n samples.
+/// Total: n == 0 maps to index 0 (callers with no samples must not
+/// dereference, but the index itself stays in range instead of
+/// underflowing to SIZE_MAX), and a NaN \p p — e.g. a quantile computed
+/// from other NaN-poisoned stats — selects the maximum instead of making
+/// the double→size_t cast undefined.
 size_t NearestRankIndex(double p, size_t n) {
+  if (n == 0) return 0;
+  if (std::isnan(p)) return n - 1;
   const double clamped = std::min(std::max(p, 0.0), 1.0);
   size_t rank = static_cast<size_t>(std::ceil(clamped * static_cast<double>(n)));
   if (rank == 0) rank = 1;
@@ -101,7 +108,12 @@ double SimStats::BusyBalanceDeviation(
   std::vector<double> normalized(n);
   double sum = 0.0;
   for (size_t b = 0; b < n; ++b) {
-    normalized[b] = backend_busy_seconds[b] / relative_loads[b];
+    // A non-positive performance share is a degenerate input (ValidateBackends
+    // rejects it); treat the backend as carrying no normalized load rather
+    // than dividing to ±inf and poisoning the deviation with NaN.
+    normalized[b] =
+        relative_loads[b] > 0.0 ? backend_busy_seconds[b] / relative_loads[b]
+                                : 0.0;
     sum += normalized[b];
   }
   const double avg = sum / static_cast<double>(n);

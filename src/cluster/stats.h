@@ -121,7 +121,10 @@ class ResponseAccumulator {
   /// Pre-grows sample storage for \p n Add() calls.
   void Reserve(size_t n) { samples_.reserve(n); }
 
-  /// Nearest-rank percentile for \p p in (0, 1]; 0 when no samples.
+  /// Nearest-rank percentile for \p p in (0, 1]. Total on degenerate
+  /// input: 0 when no samples (never NaN — the serving metrics endpoint
+  /// reads this on an idle server), out-of-range \p p clamps to [0, 1],
+  /// and a NaN \p p selects the maximum sample.
   double Percentile(double p) const;
 
   /// p50/p95/p99 in one call: copies the samples into \p *scratch (reused,

@@ -1,0 +1,51 @@
+// Minimal blocking client for the qcap_serve wire protocol
+// (docs/SERVING.md): one connection, one in-flight request. This is what
+// the load generator, the integration tests, and embedding programs use;
+// it is also the reference implementation for writing a client in any
+// other language — connect TCP, write `u32-be length + payload`, read one
+// frame back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace qcap::net {
+
+/// \brief Blocking request/response client over one server session.
+class Client {
+ public:
+  /// Connects to a running server (Nagle disabled: one frame per segment).
+  static Result<Client> Connect(const std::string& host, uint16_t port) {
+    QCAP_ASSIGN_OR_RETURN(Socket sock, Socket::ConnectTcp(host, port));
+    QCAP_RETURN_NOT_OK(sock.SetNoDelay(true));
+    return Client(std::move(sock));
+  }
+
+  /// Sends one request line and returns the server's response payload.
+  /// NotFound means the server closed the connection (e.g. after QUIT or a
+  /// framing violation).
+  Result<std::string> Call(std::string_view request) {
+    QCAP_RETURN_NOT_OK(WriteFrame(&sock_, request));
+    return ReadFrame(&sock_, &decoder_);
+  }
+
+  /// Reads one more frame without sending (responses queued before a
+  /// close, e.g. the error frame preceding a forced disconnect).
+  Result<std::string> ReadResponse() { return ReadFrame(&sock_, &decoder_); }
+
+  Socket& socket() { return sock_; }
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  Socket sock_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace qcap::net

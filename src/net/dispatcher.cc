@@ -1,0 +1,311 @@
+#include "net/dispatcher.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+#include "cluster/pending_index.h"
+
+namespace qcap::net {
+
+namespace {
+
+/// Splits on runs of spaces/tabs (the protocol grammar allows one or more
+/// separators; leading/trailing whitespace is ignored).
+std::vector<std::string> SplitFields(std::string_view line) {
+  std::vector<std::string> fields;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.emplace_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+bool ParseIndex(std::string_view token, size_t* out) {
+  if (token.empty()) return false;
+  size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+/// Parses a class token `R<i>` / `U<j>`.
+bool ParseClassToken(std::string_view token, bool* is_read, size_t* index) {
+  if (token.size() < 2 || (token[0] != 'R' && token[0] != 'U')) return false;
+  *is_read = token[0] == 'R';
+  return ParseIndex(token.substr(1), index);
+}
+
+/// Shortest round-trippable rendering for metrics values (latencies are
+/// microseconds; fixed 3-digit formatting would flatten them to 0).
+std::string FormatMetric(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+constexpr size_t kDead = static_cast<size_t>(PendingIndex::kDeadKey);
+
+}  // namespace
+
+Result<std::unique_ptr<Dispatcher>> Dispatcher::Create(
+    const Classification& cls, const Allocation& alloc,
+    const ServingLimits& limits) {
+  QCAP_ASSIGN_OR_RETURN(Scheduler scheduler, Scheduler::Build(cls, alloc));
+  return std::unique_ptr<Dispatcher>(
+      new Dispatcher(std::move(scheduler), alloc.num_backends(),
+                     cls.reads.size(), cls.updates.size(), limits));
+}
+
+Dispatcher::Dispatcher(Scheduler scheduler, size_t num_backends,
+                       size_t num_reads, size_t num_updates,
+                       const ServingLimits& limits)
+    : scheduler_(std::move(scheduler)),
+      num_backends_(num_backends),
+      num_reads_(num_reads),
+      num_updates_(num_updates),
+      pending_(num_backends, 0),
+      alive_(num_backends, true) {
+  if (limits.rate_limit_qps > 0.0) {
+    const double burst = limits.rate_limit_burst > 0.0
+                             ? limits.rate_limit_burst
+                             : std::max(1.0, limits.rate_limit_qps);
+    buckets_.reserve(num_reads_ + num_updates_);
+    for (size_t c = 0; c < num_reads_ + num_updates_; ++c) {
+      buckets_.emplace_back(limits.rate_limit_qps, burst);
+    }
+  }
+  latency_.Reserve(1 << 16);
+}
+
+Dispatcher::Reply Dispatcher::Execute(std::string_view request,
+                                      double now_seconds) {
+  std::lock_guard<std::mutex> guard(lock_);
+  ++counters_.requests_total;
+  const std::vector<std::string> fields = SplitFields(request);
+  auto bad = [this](const std::string& msg) {
+    ++counters_.bad_requests;
+    return Reply{"ERR BAD_REQUEST " + msg, false, false};
+  };
+  if (fields.empty()) return bad("empty request");
+  const std::string& verb = fields[0];
+  if (verb == "SUBMIT") return Submit(fields, now_seconds);
+  if (verb == "DONE") return Done(fields);
+  if (verb == "STATS") return Reply{StatsLine(), false, false};
+  if (verb == "METRICS") {
+    return Reply{"OK METRICS\n" + MetricsText(now_seconds), false, false};
+  }
+  if (verb == "HEALTH") return Reply{HealthLine(now_seconds), false, false};
+  if (verb == "FAULT") return Fault(fields);
+  if (verb == "QUIT") return Reply{"OK BYE", true, false};
+  return bad("unknown verb '" + verb + "'");
+}
+
+Dispatcher::Reply Dispatcher::Submit(const std::vector<std::string>& args,
+                                     double now_seconds) {
+  bool is_read = false;
+  size_t index = 0;
+  if (args.size() != 2 || !ParseClassToken(args[1], &is_read, &index)) {
+    ++counters_.bad_requests;
+    return {"ERR BAD_REQUEST usage: SUBMIT R<i>|U<j>", false, false};
+  }
+  const size_t limit = is_read ? num_reads_ : num_updates_;
+  if (index >= limit) {
+    ++counters_.bad_requests;
+    return {"ERR BAD_CLASS " + args[1] + " out of range (have " +
+                std::to_string(num_reads_) + " reads, " +
+                std::to_string(num_updates_) + " updates)",
+            false, false};
+  }
+  if (!buckets_.empty()) {
+    const size_t bucket = is_read ? index : num_reads_ + index;
+    if (!buckets_[bucket].TryAcquire(now_seconds)) {
+      ++counters_.rejected;
+      return {"ERR RATE_LIMITED class=" + args[1], false, false};
+    }
+  }
+  if (is_read) {
+    const size_t pick = scheduler_.PickReadBackend(index, pending_);
+    if (pick == PendingIndex::kNone) {
+      ++counters_.unservable;
+      return {"ERR UNSERVABLE no live backend holds " + args[1] + "'s data",
+              false, true};
+    }
+    ++pending_[pick];
+    ++counters_.reads_routed;
+    return {"OK BACKEND " + std::to_string(pick), false, true};
+  }
+  const std::vector<size_t>& targets = scheduler_.UpdateTargets(index);
+  std::string reply = "OK BACKENDS";
+  size_t routed = 0;
+  for (size_t t : targets) {
+    if (!alive_[t]) continue;  // dead replica: owes the update as lag
+    ++pending_[t];
+    ++routed;
+    reply += ' ';
+    reply += std::to_string(t);
+  }
+  if (routed == 0) {
+    ++counters_.unservable;
+    return {"ERR UNSERVABLE every replica of " + args[1] + " is down", false,
+            true};
+  }
+  ++counters_.updates_routed;
+  return {reply, false, true};
+}
+
+Dispatcher::Reply Dispatcher::Done(const std::vector<std::string>& args) {
+  size_t backend = 0;
+  if (args.size() != 2 || !ParseIndex(args[1], &backend)) {
+    ++counters_.bad_requests;
+    return {"ERR BAD_REQUEST usage: DONE <backend>", false, false};
+  }
+  if (backend >= num_backends_) {
+    ++counters_.bad_requests;
+    return {"ERR BAD_BACKEND " + args[1] + " out of range (have " +
+                std::to_string(num_backends_) + ")",
+            false, false};
+  }
+  // A completion for a crashed backend, or one the server never routed
+  // (e.g. the backend crashed and its depth was reset), is acknowledged
+  // but changes nothing — the client cannot know the server lost the slot.
+  if (!alive_[backend] || pending_[backend] == 0) {
+    return {"OK DONE stale", false, false};
+  }
+  --pending_[backend];
+  ++counters_.done_acks;
+  return {"OK DONE", false, false};
+}
+
+Dispatcher::Reply Dispatcher::Fault(const std::vector<std::string>& args) {
+  size_t backend = 0;
+  if (args.size() != 3 || (args[1] != "CRASH" && args[1] != "RECOVER") ||
+      !ParseIndex(args[2], &backend)) {
+    ++counters_.bad_requests;
+    return {"ERR BAD_REQUEST usage: FAULT CRASH|RECOVER <backend>", false,
+            false};
+  }
+  if (backend >= num_backends_) {
+    ++counters_.bad_requests;
+    return {"ERR BAD_BACKEND " + args[2] + " out of range (have " +
+                std::to_string(num_backends_) + ")",
+            false, false};
+  }
+  if (args[1] == "CRASH") {
+    // Idempotent: crashing a dead backend re-asserts the state. The dead
+    // key makes the backend lose every least-pending comparison, exactly
+    // like the simulator's crash handling.
+    alive_[backend] = false;
+    pending_[backend] = kDead;
+    return {"OK FAULT crashed " + std::to_string(backend), false, false};
+  }
+  // Recovery rejoins with an empty queue (the crash destroyed its work).
+  alive_[backend] = true;
+  pending_[backend] = 0;
+  return {"OK FAULT recovered " + std::to_string(backend), false, false};
+}
+
+std::string Dispatcher::StatsLine() const {
+  std::string out = "OK STATS requests=" +
+                    std::to_string(counters_.requests_total) +
+                    " reads=" + std::to_string(counters_.reads_routed) +
+                    " updates=" + std::to_string(counters_.updates_routed) +
+                    " rejected=" + std::to_string(counters_.rejected) +
+                    " unservable=" + std::to_string(counters_.unservable) +
+                    " bad=" + std::to_string(counters_.bad_requests) +
+                    " done=" + std::to_string(counters_.done_acks);
+  out += " pending=";
+  for (size_t b = 0; b < num_backends_; ++b) {
+    if (b > 0) out += ',';
+    out += std::to_string(alive_[b] ? pending_[b] : 0);
+  }
+  out += " alive=";
+  for (size_t b = 0; b < num_backends_; ++b) {
+    if (b > 0) out += ',';
+    out += alive_[b] ? '1' : '0';
+  }
+  return out;
+}
+
+std::string Dispatcher::MetricsText(double now_seconds) {
+  const uint64_t routed = counters_.reads_routed + counters_.updates_routed;
+  const double qps =
+      now_seconds > 0.0 ? static_cast<double>(routed) / now_seconds : 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  // Shares SimStats' nearest-rank percentile machinery; on an idle server
+  // the accumulator is empty and the hardened path reports zeros.
+  latency_.Percentiles(&percentile_scratch_, &p50, &p95, &p99);
+  std::string out;
+  out.reserve(512 + num_backends_ * 64);
+  out += "qcap_uptime_seconds " + FormatMetric(now_seconds) + "\n";
+  out += "qcap_requests_total " + std::to_string(counters_.requests_total) +
+         "\n";
+  out += "qcap_reads_routed_total " + std::to_string(counters_.reads_routed) +
+         "\n";
+  out += "qcap_updates_routed_total " +
+         std::to_string(counters_.updates_routed) + "\n";
+  out += "qcap_rejected_total " + std::to_string(counters_.rejected) + "\n";
+  out += "qcap_unservable_total " + std::to_string(counters_.unservable) +
+         "\n";
+  out += "qcap_bad_requests_total " + std::to_string(counters_.bad_requests) +
+         "\n";
+  out += "qcap_done_total " + std::to_string(counters_.done_acks) + "\n";
+  out += "qcap_queries_per_second " + FormatMetric(qps) + "\n";
+  out += "qcap_routing_latency_seconds{quantile=\"0.50\"} " +
+         FormatMetric(p50) + "\n";
+  out += "qcap_routing_latency_seconds{quantile=\"0.95\"} " +
+         FormatMetric(p95) + "\n";
+  out += "qcap_routing_latency_seconds{quantile=\"0.99\"} " +
+         FormatMetric(p99) + "\n";
+  out += "qcap_routing_latency_seconds_max " + FormatMetric(latency_.max()) +
+         "\n";
+  out += "qcap_routing_latency_samples " + std::to_string(latency_.count()) +
+         "\n";
+  for (size_t b = 0; b < num_backends_; ++b) {
+    out += "qcap_backend_pending{backend=\"" + std::to_string(b) + "\"} " +
+           std::to_string(alive_[b] ? pending_[b] : 0) + "\n";
+  }
+  for (size_t b = 0; b < num_backends_; ++b) {
+    out += "qcap_backend_alive{backend=\"" + std::to_string(b) + "\"} " +
+           std::string(alive_[b] ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+std::string Dispatcher::HealthLine(double now_seconds) const {
+  size_t alive = 0;
+  for (bool a : alive_) {
+    if (a) ++alive;
+  }
+  return "OK HEALTH backends=" + std::to_string(num_backends_) +
+         " alive=" + std::to_string(alive) +
+         " read_classes=" + std::to_string(num_reads_) +
+         " update_classes=" + std::to_string(num_updates_) +
+         " uptime_seconds=" + FormatMetric(now_seconds);
+}
+
+void Dispatcher::RecordRoutingLatency(double seconds) {
+  std::lock_guard<std::mutex> guard(lock_);
+  latency_.Add(seconds);
+}
+
+ServingCounters Dispatcher::Snapshot() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  ServingCounters out = counters_;
+  out.pending.resize(num_backends_);
+  out.alive.resize(num_backends_);
+  for (size_t b = 0; b < num_backends_; ++b) {
+    out.pending[b] = alive_[b] ? pending_[b] : 0;
+    out.alive[b] = alive_[b];
+  }
+  return out;
+}
+
+}  // namespace qcap::net

@@ -1,0 +1,123 @@
+// The serving layer's routing brain (docs/SERVING.md): parses one
+// wire-protocol request line, routes SUBMITs through the same
+// `Scheduler::PickReadBackend` / `PendingIndex` machinery the simulator
+// uses, applies per-class token-bucket admission control, and renders the
+// STATS / METRICS / HEALTH observability surfaces.
+//
+// All mutable state sits behind one routing lock: the poll loop executes
+// requests strictly in arrival order, and any other thread (the embedding
+// program, a metrics scraper using the in-process API) can take consistent
+// snapshots concurrently. The dispatcher itself never reads a clock —
+// callers pass monotonic seconds in — so its behaviour for a given request
+// sequence with given timestamps is fully deterministic and the routing
+// decisions are bit-identical to direct `Scheduler` calls on the same
+// class sequence (pinned by serving_integration_test and bench_serving).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/scheduler.h"
+#include "cluster/stats.h"
+#include "common/status.h"
+#include "net/token_bucket.h"
+
+namespace qcap::net {
+
+/// Admission-control knobs (see docs/SERVING.md, "Deployment & tuning").
+struct ServingLimits {
+  /// Sustained SUBMIT budget per query class, requests/second.
+  /// <= 0 disables admission control entirely.
+  double rate_limit_qps = 0.0;
+  /// Instantaneous burst per class, tokens. <= 0 defaults to
+  /// max(1, rate_limit_qps): one second of budget, at least one request.
+  double rate_limit_burst = 0.0;
+};
+
+/// Consistent snapshot of the dispatcher's counters.
+struct ServingCounters {
+  uint64_t requests_total = 0;    ///< Every frame executed, all verbs.
+  uint64_t reads_routed = 0;      ///< SUBMIT R answered with a backend.
+  uint64_t updates_routed = 0;    ///< SUBMIT U answered with targets.
+  uint64_t rejected = 0;          ///< SUBMITs denied by admission control.
+  uint64_t unservable = 0;        ///< SUBMITs with no live capable backend.
+  uint64_t bad_requests = 0;      ///< Parse/validation failures.
+  uint64_t done_acks = 0;         ///< DONE completions applied.
+  std::vector<size_t> pending;    ///< Per-backend outstanding depth.
+  std::vector<bool> alive;        ///< Per-backend liveness.
+};
+
+/// \brief Thread-safe request executor over one (Classification,
+/// Allocation) routing table.
+class Dispatcher {
+ public:
+  /// Builds the routing table (fails like Scheduler::Build when some class
+  /// has no capable backend). Returned by pointer: the routing lock makes
+  /// the dispatcher immovable.
+  static Result<std::unique_ptr<Dispatcher>> Create(
+      const Classification& cls, const Allocation& alloc,
+      const ServingLimits& limits);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Outcome of executing one request frame.
+  struct Reply {
+    std::string text;          ///< Response payload (one frame).
+    bool close_session = false;  ///< QUIT: flush the reply, then close.
+    bool routed = false;       ///< A SUBMIT that reached the scheduler —
+                               ///< the caller should time it and call
+                               ///< RecordRoutingLatency.
+  };
+
+  /// Parses and executes one request line. \p now_seconds is monotonic
+  /// time with a caller-chosen origin (used for admission-control refill
+  /// and uptime reporting).
+  Reply Execute(std::string_view request, double now_seconds);
+
+  /// Adds one routing-latency sample (seconds) to the percentile
+  /// accumulator feeding METRICS.
+  void RecordRoutingLatency(double seconds);
+
+  /// Counter snapshot under the routing lock.
+  ServingCounters Snapshot() const;
+
+  size_t num_backends() const { return num_backends_; }
+  size_t num_read_classes() const { return num_reads_; }
+  size_t num_update_classes() const { return num_updates_; }
+
+ private:
+  Dispatcher(Scheduler scheduler, size_t num_backends, size_t num_reads,
+             size_t num_updates, const ServingLimits& limits);
+
+  // Verb handlers; all run under lock_.
+  Reply Submit(const std::vector<std::string>& args, double now_seconds);
+  Reply Done(const std::vector<std::string>& args);
+  Reply Fault(const std::vector<std::string>& args);
+  std::string StatsLine() const;
+  std::string MetricsText(double now_seconds);
+  std::string HealthLine(double now_seconds) const;
+
+  mutable std::mutex lock_;  ///< The single routing lock.
+  Scheduler scheduler_;
+  size_t num_backends_;
+  size_t num_reads_;
+  size_t num_updates_;
+  /// Per-backend outstanding request depth; a crashed backend's slot holds
+  /// PendingIndex::kDeadKey so it loses every least-pending comparison.
+  std::vector<size_t> pending_;
+  std::vector<bool> alive_;
+  /// One bucket per class (reads then updates); empty = admission off.
+  std::vector<TokenBucket> buckets_;
+  ServingCounters counters_;
+  /// Routing-latency samples; shares SimStats' percentile machinery.
+  ResponseAccumulator latency_;
+  std::vector<double> percentile_scratch_;
+};
+
+}  // namespace qcap::net

@@ -1,0 +1,85 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace qcap::net {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 4;
+
+uint32_t DecodeLength(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  const char header[kHeaderBytes] = {
+      static_cast<char>((n >> 24) & 0xff), static_cast<char>((n >> 16) & 0xff),
+      static_cast<char>((n >> 8) & 0xff), static_cast<char>(n & 0xff)};
+  out->append(header, kHeaderBytes);
+  out->append(payload.data(), payload.size());
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (poisoned_) return;
+  // Compact the consumed prefix before growing: a long-lived session keeps
+  // the buffer at O(one frame), not O(stream).
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Pop FrameDecoder::Next(std::string* payload) {
+  if (poisoned_) return Pop::kError;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderBytes) return Pop::kNeedMore;
+  const uint32_t length = DecodeLength(buffer_.data() + consumed_);
+  if (length > max_payload_) {
+    poisoned_ = true;
+    return Pop::kError;
+  }
+  if (available < kHeaderBytes + length) return Pop::kNeedMore;
+  payload->assign(buffer_, consumed_ + kHeaderBytes, length);
+  consumed_ += kHeaderBytes + length;
+  return Pop::kFrame;
+}
+
+Status WriteFrame(Socket* sock, std::string_view payload) {
+  std::string wire;
+  wire.reserve(payload.size() + kHeaderBytes);
+  AppendFrame(&wire, payload);
+  return sock->SendAll(wire.data(), wire.size());
+}
+
+Result<std::string> ReadFrame(Socket* sock, FrameDecoder* decoder) {
+  std::string payload;
+  char chunk[4096];
+  while (true) {
+    switch (decoder->Next(&payload)) {
+      case FrameDecoder::Pop::kFrame:
+        return payload;
+      case FrameDecoder::Pop::kError:
+        return Status::InvalidArgument("oversized frame from peer");
+      case FrameDecoder::Pop::kNeedMore:
+        break;
+    }
+    QCAP_ASSIGN_OR_RETURN(size_t n, sock->RecvSome(chunk, sizeof(chunk)));
+    if (n == 0) {
+      return Status::NotFound("connection closed before a complete frame");
+    }
+    decoder->Feed(chunk, n);
+  }
+}
+
+}  // namespace qcap::net

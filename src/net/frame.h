@@ -1,0 +1,76 @@
+// Length-prefixed framing for the qcap_serve wire protocol
+// (docs/SERVING.md): every message — request or response — is one frame,
+//
+//   +----------------------+----------------------+
+//   | length N (u32, BE)   | payload (N bytes)    |
+//   +----------------------+----------------------+
+//
+// where the payload is a UTF-8 text line (no terminator). The decoder is
+// incremental: feed it whatever the socket produced, pop zero or more
+// complete frames. A declared length above the configured maximum poisons
+// the decoder permanently — a client that lies about lengths is not
+// resynchronizable, so the session must be closed (the server answers
+// `ERR FRAME_TOO_LARGE` first; see the protocol spec).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace qcap::net {
+
+/// Default ceiling on one frame's payload size. Requests are one short
+/// line; responses are at most a metrics page. 64 KiB is generous.
+constexpr size_t kDefaultMaxFrameBytes = 64 * 1024;
+
+/// Appends the framed encoding of \p payload (4-byte big-endian length +
+/// bytes) to \p *out.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// \brief Incremental decoder for a stream of length-prefixed frames.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload_bytes = kDefaultMaxFrameBytes)
+      : max_payload_(max_payload_bytes) {}
+
+  /// Appends \p n raw stream bytes to the internal buffer.
+  void Feed(const char* data, size_t n);
+
+  /// Outcome of one Next() attempt.
+  enum class Pop {
+    kFrame,     ///< *payload holds the next complete frame's payload.
+    kNeedMore,  ///< The buffered bytes end mid-frame; feed more.
+    kError,     ///< Oversized declared length; the stream is unusable.
+  };
+
+  /// Pops the next complete frame into \p *payload. Once kError is
+  /// returned every further call returns kError (sticky poisoning).
+  Pop Next(std::string* payload);
+
+  /// True once the decoder hit an oversized frame.
+  bool poisoned() const { return poisoned_; }
+  /// Bytes buffered but not yet consumed by popped frames.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  size_t max_payload_bytes() const { return max_payload_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out as frames
+  bool poisoned_ = false;
+};
+
+/// Sends one framed \p payload over a blocking socket.
+Status WriteFrame(Socket* sock, std::string_view payload);
+
+/// Reads one complete frame from a blocking socket through \p *decoder
+/// (which carries partial bytes across calls). Returns the payload;
+/// NotFound on orderly EOF before a complete frame, InvalidArgument when
+/// the peer sent an oversized frame.
+Result<std::string> ReadFrame(Socket* sock, FrameDecoder* decoder);
+
+}  // namespace qcap::net

@@ -1,0 +1,197 @@
+// qcap-lint: allow-file(nondeterministic-call) -- the serving layer routes
+// real network traffic: admission-control refill, uptime, and routing
+// latency are measured against the process's monotonic clock, outside the
+// simulated-time determinism surface (see docs/SERVING.md).
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <poll.h>
+#include <unistd.h>
+
+namespace qcap::net {
+
+namespace {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QueryRoutingServer>> QueryRoutingServer::Create(
+    const Classification& cls, const Allocation& alloc,
+    const ServerOptions& options) {
+  QCAP_ASSIGN_OR_RETURN(std::unique_ptr<Dispatcher> dispatcher,
+                        Dispatcher::Create(cls, alloc, options.limits));
+  QCAP_ASSIGN_OR_RETURN(Listener listener,
+                        Listener::BindTcp(options.host, options.port));
+  QCAP_RETURN_NOT_OK(listener.SetNonBlocking(true));
+  return std::unique_ptr<QueryRoutingServer>(new QueryRoutingServer(
+      std::move(dispatcher), std::move(listener), options));
+}
+
+QueryRoutingServer::QueryRoutingServer(std::unique_ptr<Dispatcher> dispatcher,
+                                       Listener listener,
+                                       const ServerOptions& options)
+    : dispatcher_(std::move(dispatcher)),
+      listener_(std::move(listener)),
+      options_(options) {}
+
+QueryRoutingServer::~QueryRoutingServer() { Stop(); }
+
+Status QueryRoutingServer::Start() {
+  if (running_.exchange(true)) {
+    return Status::AlreadyExists("server already started");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    running_.store(false);
+    return Status::Internal("pipe() failed");
+  }
+  start_ns_ = MonotonicNanos();
+  io_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void QueryRoutingServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the poll loop; it observes running_ == false and drains out.
+  const char byte = 'q';
+  [[maybe_unused]] ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+  if (io_thread_.joinable()) io_thread_.join();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  sessions_.clear();
+  open_sessions_.store(0, std::memory_order_relaxed);
+}
+
+double QueryRoutingServer::NowSeconds() const {
+  return static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9;
+}
+
+void QueryRoutingServer::AcceptPending() {
+  while (true) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // EAGAIN: nothing else pending
+    Socket sock = std::move(accepted).value();
+    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (sock.SetNonBlocking(true).ok()) (void)sock.SetNoDelay(true);
+    auto session =
+        std::make_unique<Session>(std::move(sock), options_.max_frame_bytes);
+    if (sessions_.size() >= options_.max_sessions) {
+      // Over the session ceiling: answer ERR BUSY and flush-close.
+      AppendFrame(&session->outbuf,
+                  "ERR BUSY session limit " +
+                      std::to_string(options_.max_sessions) + " reached");
+      session->closing = true;
+    }
+    sessions_.push_back(std::move(session));
+    open_sessions_.store(sessions_.size(), std::memory_order_relaxed);
+  }
+}
+
+bool QueryRoutingServer::ServiceReadable(Session* session) {
+  char chunk[16 * 1024];
+  while (true) {
+    Result<size_t> got = session->sock.RecvSome(chunk, sizeof(chunk));
+    if (!got.ok()) {
+      // Would-block: everything currently available has been consumed.
+      return got.status().IsResourceExhausted();
+    }
+    if (*got == 0) return false;  // orderly EOF
+    session->decoder.Feed(chunk, *got);
+    std::string payload;
+    while (true) {
+      const FrameDecoder::Pop pop = session->decoder.Next(&payload);
+      if (pop == FrameDecoder::Pop::kNeedMore) break;
+      if (pop == FrameDecoder::Pop::kError) {
+        AppendFrame(&session->outbuf,
+                    "ERR FRAME_TOO_LARGE max payload " +
+                        std::to_string(options_.max_frame_bytes) + " bytes");
+        session->closing = true;
+        return true;  // flush the error, then close
+      }
+      const double start = NowSeconds();
+      Dispatcher::Reply reply = dispatcher_->Execute(payload, start);
+      if (reply.routed) {
+        dispatcher_->RecordRoutingLatency(NowSeconds() - start);
+      }
+      AppendFrame(&session->outbuf, reply.text);
+      if (reply.close_session) {
+        session->closing = true;
+        return true;
+      }
+    }
+    if (session->closing) return true;
+  }
+}
+
+bool QueryRoutingServer::FlushWrites(Session* session) {
+  const size_t todo = session->outbuf.size() - session->out_offset;
+  if (todo == 0) return true;
+  size_t written = 0;
+  const Status st = session->sock.SendAll(
+      session->outbuf.data() + session->out_offset, todo, &written);
+  session->out_offset += written;
+  if (session->out_offset == session->outbuf.size()) {
+    session->outbuf.clear();
+    session->out_offset = 0;
+  }
+  if (st.ok() || st.IsResourceExhausted()) return true;
+  return false;  // broken pipe etc.
+}
+
+void QueryRoutingServer::Loop() {
+  std::vector<pollfd> fds;
+  while (running_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    // Sessions polled this round; AcceptPending may append more below,
+    // and those have no pollfd until the next iteration.
+    const size_t polled = sessions_.size();
+    for (const auto& session : sessions_) {
+      short events = POLLIN;
+      if (session->out_offset < session->outbuf.size()) events |= POLLOUT;
+      fds.push_back({session->sock.fd(), events, 0});
+    }
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/1000) < 0) continue;
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[16];
+      [[maybe_unused]] ssize_t rc = ::read(wake_pipe_[0], drain, sizeof(drain));
+    }
+    if ((fds[1].revents & POLLIN) != 0) AcceptPending();
+    // Service the polled sessions; collect the dead ones after the sweep.
+    for (size_t i = 0; i < polled; ++i) {
+      Session* session = sessions_[i].get();
+      const short revents = fds[2 + i].revents;
+      bool alive = true;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        alive = false;
+      }
+      if (alive && !session->closing && (revents & POLLIN) != 0) {
+        alive = ServiceReadable(session);
+      }
+      if (alive) alive = FlushWrites(session);
+      const bool drained = session->out_offset >= session->outbuf.size();
+      if (!alive || (session->closing && drained)) {
+        sessions_[i].reset();
+      }
+    }
+    sessions_.erase(
+        std::remove(sessions_.begin(), sessions_.end(), nullptr),
+        sessions_.end());
+    open_sessions_.store(sessions_.size(), std::memory_order_relaxed);
+  }
+  sessions_.clear();
+  open_sessions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace qcap::net

@@ -1,0 +1,174 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qcap::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+Status SetFlag(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, uint16_t port) {
+  QCAP_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect " + host + ":" + std::to_string(port));
+  return sock;
+}
+
+Status Socket::SendAll(const void* data, size_t n, size_t* written) {
+  const char* p = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::send(fd_, p + done, n - done, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (written != nullptr) *written = done;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::ResourceExhausted("send would block");
+      }
+      return Errno("send");
+    }
+    done += static_cast<size_t>(rc);
+  }
+  if (written != nullptr) *written = done;
+  return Status::OK();
+}
+
+Result<size_t> Socket::RecvSome(void* buf, size_t n) {
+  while (true) {
+    const ssize_t rc = ::recv(fd_, buf, n, 0);
+    if (rc >= 0) return static_cast<size_t>(rc);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::ResourceExhausted("recv would block");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Socket::SetNonBlocking(bool enabled) { return SetFlag(fd_, enabled); }
+
+Status Socket::SetNoDelay(bool enabled) {
+  const int flag = enabled ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Listener::~Listener() { Close(); }
+
+Result<Listener> Listener::BindTcp(const std::string& host, uint16_t port,
+                                   int backlog) {
+  QCAP_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Listener listener;
+  listener.fd_ = fd;
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::ResourceExhausted("no pending connection");
+    }
+    return Errno("accept");
+  }
+}
+
+Status Listener::SetNonBlocking(bool enabled) { return SetFlag(fd_, enabled); }
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace qcap::net

@@ -1,0 +1,95 @@
+// Thin RAII wrappers over POSIX TCP sockets for the serving layer
+// (docs/SERVING.md): a move-only connected `Socket`, a bound/listening
+// `Listener`, and nothing else. All calls are Status-based (the library
+// never throws) and restart on EINTR; everything speaks blocking I/O
+// unless a caller flips a socket non-blocking for use in a poll loop.
+//
+// This is deliberately the only file pair in the repo that touches
+// <sys/socket.h>: the session, framing, and dispatch layers above it are
+// plain byte-buffer code and stay testable without a network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace qcap::net {
+
+/// \brief Move-only owner of one connected TCP socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of \p fd (-1 = empty).
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to \p host:\p port (dotted-quad IPv4, e.g. "127.0.0.1").
+  static Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+  /// True while the socket holds an open descriptor.
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all \p n bytes (looping over short writes). With the socket in
+  /// non-blocking mode a would-block condition is reported as
+  /// ResourceExhausted after writing \p *written bytes.
+  Status SendAll(const void* data, size_t n, size_t* written = nullptr);
+
+  /// Reads up to \p n bytes. Returns the byte count; 0 means orderly EOF.
+  /// In non-blocking mode a would-block condition returns ResourceExhausted.
+  Result<size_t> RecvSome(void* buf, size_t n);
+
+  /// Switches O_NONBLOCK on or off.
+  Status SetNonBlocking(bool enabled);
+  /// Disables Nagle batching (TCP_NODELAY) — one frame, one segment.
+  Status SetNoDelay(bool enabled);
+
+  /// Closes the descriptor now (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief A bound, listening TCP socket accepting `Socket` sessions.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Binds and listens on \p host:\p port with SO_REUSEADDR. Port 0 asks
+  /// the kernel for an ephemeral port; the actual port is in port().
+  static Result<Listener> BindTcp(const std::string& host, uint16_t port,
+                                  int backlog = 64);
+
+  /// The locally bound port (resolved even when bound with port 0).
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Accepts one pending connection. In non-blocking mode "no connection
+  /// waiting" is reported as ResourceExhausted.
+  Result<Socket> Accept();
+
+  /// Switches O_NONBLOCK on the listening descriptor.
+  Status SetNonBlocking(bool enabled);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace qcap::net

@@ -1,0 +1,62 @@
+// Deterministic token-bucket rate limiter for per-class admission control
+// (docs/SERVING.md, "Admission control"). Time is an explicit parameter —
+// the bucket never reads a clock — so refill behaviour is exactly
+// reproducible in tests and the server owns the single wall-clock read per
+// request.
+#pragma once
+
+#include <algorithm>
+
+namespace qcap::net {
+
+/// \brief Token bucket: capacity `burst`, refilling at `rate` tokens/s.
+///
+/// A request costs one token. The bucket starts full, so a fresh class can
+/// burst up to `burst` requests instantly; sustained throughput converges
+/// to `rate` requests/second. Fractional tokens accumulate (two 0.5-token
+/// refills admit one request), and the balance is capped at `burst` so
+/// idle time cannot bank unbounded credit.
+class TokenBucket {
+ public:
+  /// \p rate_per_second must be > 0; \p burst is clamped to >= 1 token.
+  TokenBucket(double rate_per_second, double burst)
+      : rate_(rate_per_second),
+        burst_(std::max(burst, 1.0)),
+        tokens_(std::max(burst, 1.0)) {}
+
+  /// Admits one request at time \p now_seconds (monotonic, same origin
+  /// across calls). Returns false — and consumes nothing — when less than
+  /// one token is available.
+  bool TryAcquire(double now_seconds) {
+    Refill(now_seconds);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Currently banked tokens after refilling to \p now_seconds.
+  double TokensAt(double now_seconds) {
+    Refill(now_seconds);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill(double now_seconds) {
+    if (now_seconds > last_refill_) {
+      tokens_ = std::min(burst_, tokens_ + (now_seconds - last_refill_) * rate_);
+    }
+    // Time moving backwards (caller bug) refills nothing but still
+    // advances the mark, so a later correct timestamp resumes cleanly.
+    last_refill_ = std::max(last_refill_, now_seconds);
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0.0;
+};
+
+}  // namespace qcap::net

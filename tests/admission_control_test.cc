@@ -1,0 +1,128 @@
+// Admission-control unit tests (docs/SERVING.md, "Admission control"):
+// the token bucket takes time as an explicit parameter, so refill
+// behaviour is exactly deterministic — these tests replay fixed timestamp
+// sequences and pin the admit/deny pattern.
+#include "net/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/scheduler.h"
+#include "model/allocation.h"
+#include "net/dispatcher.h"
+#include "test_util.h"
+
+namespace qcap::net {
+namespace {
+
+TEST(TokenBucketTest, BurstThenDeny) {
+  TokenBucket bucket(/*rate_per_second=*/1.0, /*burst=*/3.0);
+  // Starts full: the whole burst is admitted instantly.
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0));
+  // 0.999 s later: still less than one token.
+  EXPECT_FALSE(bucket.TryAcquire(0.999));
+  // At exactly 1 s a full token has accrued.
+  EXPECT_TRUE(bucket.TryAcquire(1.0));
+  EXPECT_FALSE(bucket.TryAcquire(1.0));
+}
+
+TEST(TokenBucketTest, FractionalRefillAccumulates) {
+  TokenBucket bucket(/*rate_per_second=*/2.0, /*burst=*/1.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+  // Two quarter-second refills of 0.5 tokens each add up to one admit.
+  EXPECT_FALSE(bucket.TryAcquire(0.25));
+  EXPECT_TRUE(bucket.TryAcquire(0.5));
+  EXPECT_FALSE(bucket.TryAcquire(0.5));
+}
+
+TEST(TokenBucketTest, IdleTimeCapsAtBurst) {
+  TokenBucket bucket(/*rate_per_second=*/100.0, /*burst=*/2.0);
+  // A long idle period banks at most `burst` tokens.
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(3600.0), 2.0);
+  EXPECT_TRUE(bucket.TryAcquire(3600.0));
+  EXPECT_TRUE(bucket.TryAcquire(3600.0));
+  EXPECT_FALSE(bucket.TryAcquire(3600.0));
+}
+
+TEST(TokenBucketTest, SustainedRateConverges) {
+  TokenBucket bucket(/*rate_per_second=*/8.0, /*burst=*/1.0);
+  // Offer 2x the sustained rate for 10 seconds; timestamps step by 1/16 s
+  // (exactly representable), so every refill adds exactly half a token and
+  // precisely every other offer is admitted.
+  int admitted = 0;
+  for (int i = 0; i < 160; ++i) {
+    if (bucket.TryAcquire(static_cast<double>(i) * 0.0625)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 80);
+}
+
+TEST(TokenBucketTest, TimeMovingBackwardsRefillsNothing) {
+  TokenBucket bucket(/*rate_per_second=*/1.0, /*burst=*/1.0);
+  EXPECT_TRUE(bucket.TryAcquire(10.0));
+  // A caller bug handing in an earlier timestamp must not mint tokens.
+  EXPECT_FALSE(bucket.TryAcquire(5.0));
+  EXPECT_FALSE(bucket.TryAcquire(10.5));
+  // Forward progress from the high-water mark resumes normal refill.
+  EXPECT_TRUE(bucket.TryAcquire(11.0));
+}
+
+TEST(TokenBucketTest, BurstClampsToOneToken) {
+  TokenBucket bucket(/*rate_per_second=*/1.0, /*burst=*/0.01);
+  // A sub-1 burst would deadlock the bucket; it is clamped to 1.
+  EXPECT_DOUBLE_EQ(bucket.burst(), 1.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0));
+}
+
+// The dispatcher applies one bucket per class: exhausting R0's budget must
+// not affect R1's, and the reject counter tracks denials.
+TEST(DispatcherAdmissionTest, PerClassBucketsAreIndependent) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation alloc(4, 3, 4, 3);
+  alloc.PlaceSet(0, {0, 1, 2});
+  alloc.PlaceSet(1, {0});
+  alloc.PlaceSet(2, {1});
+  alloc.PlaceSet(3, {2});
+  ServingLimits limits;
+  limits.rate_limit_qps = 1.0;
+  limits.rate_limit_burst = 2.0;
+  auto dispatcher = Dispatcher::Create(cls, alloc, limits);
+  ASSERT_TRUE(dispatcher.ok()) << dispatcher.status().ToString();
+  Dispatcher& d = **dispatcher;
+
+  // R0's burst of 2, all at t=0.
+  EXPECT_EQ(d.Execute("SUBMIT R0", 0.0).text.substr(0, 10), "OK BACKEND");
+  EXPECT_EQ(d.Execute("SUBMIT R0", 0.0).text.substr(0, 10), "OK BACKEND");
+  EXPECT_EQ(d.Execute("SUBMIT R0", 0.0).text, "ERR RATE_LIMITED class=R0");
+  // R1 and U0 have their own untouched buckets.
+  EXPECT_EQ(d.Execute("SUBMIT R1", 0.0).text.substr(0, 10), "OK BACKEND");
+  EXPECT_EQ(d.Execute("SUBMIT U0", 0.0).text.substr(0, 11), "OK BACKENDS");
+  // One second later R0 has accrued one token.
+  EXPECT_EQ(d.Execute("SUBMIT R0", 1.0).text.substr(0, 10), "OK BACKEND");
+  EXPECT_EQ(d.Execute("SUBMIT R0", 1.0).text, "ERR RATE_LIMITED class=R0");
+
+  const ServingCounters counters = d.Snapshot();
+  EXPECT_EQ(counters.rejected, 2u);
+  EXPECT_EQ(counters.reads_routed, 4u);
+  EXPECT_EQ(counters.updates_routed, 1u);
+}
+
+TEST(DispatcherAdmissionTest, ZeroRateDisablesAdmissionControl) {
+  const Classification cls = testutil::AppendixAClassification();
+  Allocation alloc(4, 3, 4, 3);
+  alloc.PlaceSet(0, {0, 1, 2});
+  alloc.PlaceSet(1, {0});
+  alloc.PlaceSet(2, {1});
+  alloc.PlaceSet(3, {2});
+  auto dispatcher = Dispatcher::Create(cls, alloc, ServingLimits{});
+  ASSERT_TRUE(dispatcher.ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ((*dispatcher)->Execute("SUBMIT R0", 0.0).text.substr(0, 10),
+              "OK BACKEND");
+  }
+  EXPECT_EQ((*dispatcher)->Snapshot().rejected, 0u);
+}
+
+}  // namespace
+}  // namespace qcap::net

@@ -1,0 +1,183 @@
+// Wire-protocol framing tests (docs/SERVING.md, "Framing"): round-trips,
+// fragmented delivery, truncated streams, oversized and garbage length
+// prefixes, plus a real loopback socket round-trip through
+// WriteFrame/ReadFrame.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/socket.h"
+
+namespace qcap::net {
+namespace {
+
+std::string Encode(std::string_view payload) {
+  std::string wire;
+  AppendFrame(&wire, payload);
+  return wire;
+}
+
+TEST(FrameTest, HeaderIsBigEndianLength) {
+  const std::string wire = Encode("ping");
+  ASSERT_EQ(wire.size(), 8u);
+  EXPECT_EQ(wire[0], '\0');
+  EXPECT_EQ(wire[1], '\0');
+  EXPECT_EQ(wire[2], '\0');
+  EXPECT_EQ(wire[3], '\x04');
+  EXPECT_EQ(wire.substr(4), "ping");
+}
+
+TEST(FrameTest, RoundTripSingleFrame) {
+  FrameDecoder decoder;
+  const std::string wire = Encode("SUBMIT R0");
+  decoder.Feed(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  EXPECT_EQ(payload, "SUBMIT R0");
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kNeedMore);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameTest, EmptyPayloadIsAValidFrame) {
+  FrameDecoder decoder;
+  const std::string wire = Encode("");
+  decoder.Feed(wire.data(), wire.size());
+  std::string payload = "sentinel";
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(FrameTest, MultipleFramesInOneChunk) {
+  FrameDecoder decoder;
+  std::string wire = Encode("STATS");
+  AppendFrame(&wire, "HEALTH");
+  AppendFrame(&wire, "QUIT");
+  decoder.Feed(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  EXPECT_EQ(payload, "STATS");
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  EXPECT_EQ(payload, "HEALTH");
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  EXPECT_EQ(payload, "QUIT");
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kNeedMore);
+}
+
+TEST(FrameTest, ByteByByteDeliveryReassembles) {
+  FrameDecoder decoder;
+  const std::string wire = Encode("SUBMIT U2");
+  std::string payload;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.Feed(&wire[i], 1);
+    EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kNeedMore)
+        << "byte " << i;
+  }
+  decoder.Feed(&wire[wire.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  EXPECT_EQ(payload, "SUBMIT U2");
+}
+
+TEST(FrameTest, TruncatedFrameStaysPending) {
+  FrameDecoder decoder;
+  const std::string wire = Encode("0123456789");
+  decoder.Feed(wire.data(), wire.size() - 3);  // header + 7 of 10 bytes
+  std::string payload;
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kNeedMore);
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.buffered_bytes(), wire.size() - 3);
+}
+
+TEST(FrameTest, OversizedLengthPoisonsPermanently) {
+  FrameDecoder decoder(/*max_payload_bytes=*/16);
+  const std::string wire = Encode(std::string(17, 'x'));
+  decoder.Feed(wire.data(), wire.size());
+  std::string payload;
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kError);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoning is sticky: even a subsequently valid frame is not decoded
+  // (framing cannot resynchronize once a declared length was a lie).
+  const std::string good = Encode("ok");
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kError);
+}
+
+TEST(FrameTest, MaxSizePayloadIsAccepted) {
+  FrameDecoder decoder(/*max_payload_bytes=*/16);
+  const std::string wire = Encode(std::string(16, 'y'));
+  decoder.Feed(wire.data(), wire.size());
+  std::string payload;
+  ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  EXPECT_EQ(payload.size(), 16u);
+}
+
+TEST(FrameTest, GarbageLengthPrefixIsRejected) {
+  FrameDecoder decoder;  // default 64 KiB ceiling
+  const char garbage[] = {'\xff', '\xff', '\xff', '\xff', 'j', 'u', 'n', 'k'};
+  decoder.Feed(garbage, sizeof(garbage));
+  std::string payload;
+  EXPECT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kError);
+}
+
+TEST(FrameTest, LongSessionCompactsItsBuffer) {
+  FrameDecoder decoder;
+  std::string payload;
+  // Stream many frames; the buffer must stay O(one frame), not O(stream).
+  for (int i = 0; i < 2000; ++i) {
+    const std::string wire = Encode("SUBMIT R" + std::to_string(i % 4));
+    decoder.Feed(wire.data(), wire.size());
+    ASSERT_EQ(decoder.Next(&payload), FrameDecoder::Pop::kFrame);
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(SocketFrameTest, LoopbackEchoRoundTrip) {
+  auto listener = Listener::BindTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = listener->port();
+  ASSERT_GT(port, 0);
+
+  std::thread echo([&listener] {
+    auto session = listener->Accept();
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    FrameDecoder decoder;
+    for (int i = 0; i < 3; ++i) {
+      auto request = ReadFrame(&session.value(), &decoder);
+      ASSERT_TRUE(request.ok()) << request.status().ToString();
+      ASSERT_TRUE(WriteFrame(&session.value(), "echo:" + *request).ok());
+    }
+  });
+
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client->Call("msg" + std::to_string(i));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(*reply, "echo:msg" + std::to_string(i));
+  }
+  echo.join();
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind an ephemeral port, then close it: connecting must fail cleanly.
+  uint16_t port = 0;
+  {
+    auto listener = Listener::BindTcp("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    port = listener->port();
+  }
+  auto client = Socket::ConnectTcp("127.0.0.1", port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(SocketTest, RejectsNonIpv4Host) {
+  EXPECT_FALSE(Socket::ConnectTcp("not-a-host", 1).ok());
+  EXPECT_FALSE(Listener::BindTcp("bad address", 0).ok());
+}
+
+}  // namespace
+}  // namespace qcap::net

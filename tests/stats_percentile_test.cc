@@ -1,0 +1,114 @@
+// Regression tests for the shared percentile machinery in
+// cluster/stats.h. The serving layer's METRICS endpoint reads these
+// helpers on an *idle* server (zero samples), which previously leaned on
+// every caller guarding emptiness themselves; the helpers are now total:
+// no sample-vector underflow, no NaN propagation into the double→size_t
+// cast, no division by a zero performance share.
+#include "cluster/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace qcap {
+namespace {
+
+TEST(ResponseAccumulatorTest, EmptyAccumulatorIsZeroEverywhere) {
+  ResponseAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.Percentile(0.5), 0.0);
+  EXPECT_EQ(acc.Percentile(0.99), 0.0);
+  std::vector<double> scratch;
+  double p50 = -1.0;
+  double p95 = -1.0;
+  double p99 = -1.0;
+  acc.Percentiles(&scratch, &p50, &p95, &p99);
+  EXPECT_EQ(p50, 0.0);
+  EXPECT_EQ(p95, 0.0);
+  EXPECT_EQ(p99, 0.0);
+}
+
+TEST(ResponseAccumulatorTest, EmptyAccumulatorSurvivesDegenerateP) {
+  ResponseAccumulator acc;
+  // Out-of-range and non-finite percentile requests on no samples must
+  // return 0, not crash or produce NaN.
+  EXPECT_EQ(acc.Percentile(0.0), 0.0);
+  EXPECT_EQ(acc.Percentile(-1.0), 0.0);
+  EXPECT_EQ(acc.Percentile(2.0), 0.0);
+  EXPECT_EQ(acc.Percentile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+}
+
+TEST(ResponseAccumulatorTest, NanPercentileSelectsTheMaximum) {
+  ResponseAccumulator acc;
+  acc.Add(0.3);
+  acc.Add(0.1);
+  acc.Add(0.2);
+  // NaN p previously made the double→size_t cast undefined; it now selects
+  // the maximum sample (the defensive reading of "quantile unknown").
+  const double v = acc.Percentile(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(std::isnan(v));
+  EXPECT_DOUBLE_EQ(v, 0.3);
+}
+
+TEST(ResponseAccumulatorTest, SingleSampleIsEveryPercentile) {
+  ResponseAccumulator acc;
+  acc.Add(0.042);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0.01), 0.042);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0.5), 0.042);
+  EXPECT_DOUBLE_EQ(acc.Percentile(1.0), 0.042);
+  std::vector<double> scratch;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  acc.Percentiles(&scratch, &p50, &p95, &p99);
+  EXPECT_DOUBLE_EQ(p50, 0.042);
+  EXPECT_DOUBLE_EQ(p95, 0.042);
+  EXPECT_DOUBLE_EQ(p99, 0.042);
+}
+
+TEST(ResponseAccumulatorTest, PercentilesMatchSingleCallsAfterReset) {
+  ResponseAccumulator acc;
+  // Fill, reset, refill: the scratch-reuse path must behave like fresh.
+  for (int i = 0; i < 100; ++i) acc.Add(1.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.Percentile(0.95), 0.0);
+  for (int i = 1; i <= 100; ++i) acc.Add(static_cast<double>(i));
+  std::vector<double> scratch;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  acc.Percentiles(&scratch, &p50, &p95, &p99);
+  EXPECT_DOUBLE_EQ(p50, acc.Percentile(0.50));
+  EXPECT_DOUBLE_EQ(p95, acc.Percentile(0.95));
+  EXPECT_DOUBLE_EQ(p99, acc.Percentile(0.99));
+  EXPECT_DOUBLE_EQ(p50, 50.0);
+  EXPECT_DOUBLE_EQ(p95, 95.0);
+  EXPECT_DOUBLE_EQ(p99, 99.0);
+}
+
+TEST(SimStatsTest, BusyBalanceDeviationGuardsZeroLoadShares) {
+  SimStats stats;
+  stats.backend_busy_seconds = {1.0, 2.0, 3.0};
+  // A zero performance share previously divided to inf and poisoned the
+  // deviation with NaN; it now contributes zero normalized load.
+  const double dev = stats.BusyBalanceDeviation({0.5, 0.0, 0.5});
+  EXPECT_TRUE(std::isfinite(dev));
+  EXPECT_GE(dev, 0.0);
+  // All-zero shares: average is zero, deviation is defined as zero.
+  EXPECT_EQ(stats.BusyBalanceDeviation({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(SimStatsTest, BusyBalanceDeviationEmptyAndMismatchedInputs) {
+  SimStats stats;
+  EXPECT_EQ(stats.BusyBalanceDeviation({}), 0.0);
+  stats.backend_busy_seconds = {1.0, 2.0};
+  EXPECT_EQ(stats.BusyBalanceDeviation({1.0}), 0.0);  // size mismatch
+}
+
+}  // namespace
+}  // namespace qcap
