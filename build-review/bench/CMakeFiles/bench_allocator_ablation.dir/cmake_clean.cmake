@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocator_ablation.dir/bench_allocator_ablation.cc.o"
+  "CMakeFiles/bench_allocator_ablation.dir/bench_allocator_ablation.cc.o.d"
+  "bench_allocator_ablation"
+  "bench_allocator_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocator_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autonomic_scaling.dir/bench_autonomic_scaling.cc.o"
+  "CMakeFiles/bench_autonomic_scaling.dir/bench_autonomic_scaling.cc.o.d"
+  "bench_autonomic_scaling"
+  "bench_autonomic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autonomic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_balance.dir/bench_balance.cc.o"
+  "CMakeFiles/bench_balance.dir/bench_balance.cc.o.d"
+  "bench_balance"
+  "bench_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

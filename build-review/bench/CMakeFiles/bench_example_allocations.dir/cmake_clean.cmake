@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example_allocations.dir/bench_example_allocations.cc.o"
+  "CMakeFiles/bench_example_allocations.dir/bench_example_allocations.cc.o.d"
+  "bench_example_allocations"
+  "bench_example_allocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example_allocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heterogeneous.dir/bench_heterogeneous.cc.o"
+  "CMakeFiles/bench_heterogeneous.dir/bench_heterogeneous.cc.o.d"
+  "bench_heterogeneous"
+  "bench_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_horizontal.dir/bench_horizontal.cc.o"
+  "CMakeFiles/bench_horizontal.dir/bench_horizontal.cc.o.d"
+  "bench_horizontal"
+  "bench_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ksafety.dir/bench_ksafety.cc.o"
+  "CMakeFiles/bench_ksafety.dir/bench_ksafety.cc.o.d"
+  "bench_ksafety"
+  "bench_ksafety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ksafety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replication_histogram.dir/bench_replication_histogram.cc.o"
+  "CMakeFiles/bench_replication_histogram.dir/bench_replication_histogram.cc.o.d"
+  "bench_replication_histogram"
+  "bench_replication_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replication_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness.dir/bench_robustness.cc.o"
+  "CMakeFiles/bench_robustness.dir/bench_robustness.cc.o.d"
+  "bench_robustness"
+  "bench_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcapp_deviation.dir/bench_tpcapp_deviation.cc.o"
+  "CMakeFiles/bench_tpcapp_deviation.dir/bench_tpcapp_deviation.cc.o.d"
+  "bench_tpcapp_deviation"
+  "bench_tpcapp_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcapp_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcapp_large.dir/bench_tpcapp_large.cc.o"
+  "CMakeFiles/bench_tpcapp_large.dir/bench_tpcapp_large.cc.o.d"
+  "bench_tpcapp_large"
+  "bench_tpcapp_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcapp_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

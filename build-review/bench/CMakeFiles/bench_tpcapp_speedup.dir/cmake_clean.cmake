@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpcapp_speedup.dir/bench_tpcapp_speedup.cc.o"
+  "CMakeFiles/bench_tpcapp_speedup.dir/bench_tpcapp_speedup.cc.o.d"
+  "bench_tpcapp_speedup"
+  "bench_tpcapp_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpcapp_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

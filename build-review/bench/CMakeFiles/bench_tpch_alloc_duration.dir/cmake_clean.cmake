@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_alloc_duration.dir/bench_tpch_alloc_duration.cc.o"
+  "CMakeFiles/bench_tpch_alloc_duration.dir/bench_tpch_alloc_duration.cc.o.d"
+  "bench_tpch_alloc_duration"
+  "bench_tpch_alloc_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_alloc_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_deviation.dir/bench_tpch_deviation.cc.o"
+  "CMakeFiles/bench_tpch_deviation.dir/bench_tpch_deviation.cc.o.d"
+  "bench_tpch_deviation"
+  "bench_tpch_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_replication.dir/bench_tpch_replication.cc.o"
+  "CMakeFiles/bench_tpch_replication.dir/bench_tpch_replication.cc.o.d"
+  "bench_tpch_replication"
+  "bench_tpch_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_scaling.dir/bench_tpch_scaling.cc.o"
+  "CMakeFiles/bench_tpch_scaling.dir/bench_tpch_scaling.cc.o.d"
+  "bench_tpch_scaling"
+  "bench_tpch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_throughput.dir/bench_tpch_throughput.cc.o"
+  "CMakeFiles/bench_tpch_throughput.dir/bench_tpch_throughput.cc.o.d"
+  "bench_tpch_throughput"
+  "bench_tpch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

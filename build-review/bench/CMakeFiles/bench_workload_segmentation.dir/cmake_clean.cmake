@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_segmentation.dir/bench_workload_segmentation.cc.o"
+  "CMakeFiles/bench_workload_segmentation.dir/bench_workload_segmentation.cc.o.d"
+  "bench_workload_segmentation"
+  "bench_workload_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomic_elasticity.dir/autonomic_elasticity.cpp.o"
+  "CMakeFiles/autonomic_elasticity.dir/autonomic_elasticity.cpp.o.d"
+  "autonomic_elasticity"
+  "autonomic_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomic_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksafety_failover.dir/ksafety_failover.cpp.o"
+  "CMakeFiles/ksafety_failover.dir/ksafety_failover.cpp.o.d"
+  "ksafety_failover"
+  "ksafety_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksafety_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

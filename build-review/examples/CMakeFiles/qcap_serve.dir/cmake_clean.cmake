@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcap_serve.dir/qcap_serve.cpp.o"
+  "CMakeFiles/qcap_serve.dir/qcap_serve.cpp.o.d"
+  "qcap_serve"
+  "qcap_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcap_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

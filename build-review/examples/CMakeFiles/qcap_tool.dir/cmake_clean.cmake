@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcap_tool.dir/qcap_tool.cpp.o"
+  "CMakeFiles/qcap_tool.dir/qcap_tool.cpp.o.d"
+  "qcap_tool"
+  "qcap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_workload.dir/sql_workload.cpp.o"
+  "CMakeFiles/sql_workload.dir/sql_workload.cpp.o.d"
+  "sql_workload"
+  "sql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_partial_replication.dir/tpch_partial_replication.cpp.o"
+  "CMakeFiles/tpch_partial_replication.dir/tpch_partial_replication.cpp.o.d"
+  "tpch_partial_replication"
+  "tpch_partial_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_partial_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

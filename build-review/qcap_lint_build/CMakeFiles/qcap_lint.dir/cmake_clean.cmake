@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/qcap_lint"
+  "../tools/qcap_lint.pdb"
+  "CMakeFiles/qcap_lint.dir/main.cc.o"
+  "CMakeFiles/qcap_lint.dir/main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcap_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcap_lint_core.dir/lexer.cc.o"
+  "CMakeFiles/qcap_lint_core.dir/lexer.cc.o.d"
+  "CMakeFiles/qcap_lint_core.dir/lint.cc.o"
+  "CMakeFiles/qcap_lint_core.dir/lint.cc.o.d"
+  "libqcap_lint_core.a"
+  "libqcap_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcap_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

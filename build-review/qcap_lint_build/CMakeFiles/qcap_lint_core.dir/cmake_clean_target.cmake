@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcap_lint_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcap_lint_test.dir/qcap_lint_test.cc.o"
+  "CMakeFiles/qcap_lint_test.dir/qcap_lint_test.cc.o.d"
+  "qcap_lint_test"
+  "qcap_lint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcap_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

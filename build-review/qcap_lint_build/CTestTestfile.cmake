@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/qcap_lint
+# Build directory: /root/repo/build-review/qcap_lint_build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(qcap_lint_test "/root/repo/build-review/qcap_lint_build/qcap_lint_test")
+set_tests_properties(qcap_lint_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/qcap_lint/CMakeLists.txt;18;add_test;/root/repo/tools/qcap_lint/CMakeLists.txt;0;")
+add_test(qcap_lint_tree "/root/repo/build-review/tools/qcap_lint" "/root/repo/src" "/root/repo/tests")
+set_tests_properties(qcap_lint_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/qcap_lint/CMakeLists.txt;22;add_test;/root/repo/tools/qcap_lint/CMakeLists.txt;0;")

@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/advisor.cc" "src/CMakeFiles/qcap.dir/alloc/advisor.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/advisor.cc.o.d"
+  "/root/repo/src/alloc/allocator.cc" "src/CMakeFiles/qcap.dir/alloc/allocator.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/allocator.cc.o.d"
+  "/root/repo/src/alloc/full_replication.cc" "src/CMakeFiles/qcap.dir/alloc/full_replication.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/full_replication.cc.o.d"
+  "/root/repo/src/alloc/greedy.cc" "src/CMakeFiles/qcap.dir/alloc/greedy.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/greedy.cc.o.d"
+  "/root/repo/src/alloc/ksafety.cc" "src/CMakeFiles/qcap.dir/alloc/ksafety.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/ksafety.cc.o.d"
+  "/root/repo/src/alloc/memetic.cc" "src/CMakeFiles/qcap.dir/alloc/memetic.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/memetic.cc.o.d"
+  "/root/repo/src/alloc/optimal.cc" "src/CMakeFiles/qcap.dir/alloc/optimal.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/optimal.cc.o.d"
+  "/root/repo/src/alloc/random_allocator.cc" "src/CMakeFiles/qcap.dir/alloc/random_allocator.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/random_allocator.cc.o.d"
+  "/root/repo/src/alloc/robustness.cc" "src/CMakeFiles/qcap.dir/alloc/robustness.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/robustness.cc.o.d"
+  "/root/repo/src/alloc/search_kernel.cc" "src/CMakeFiles/qcap.dir/alloc/search_kernel.cc.o" "gcc" "src/CMakeFiles/qcap.dir/alloc/search_kernel.cc.o.d"
+  "/root/repo/src/autonomic/scaler.cc" "src/CMakeFiles/qcap.dir/autonomic/scaler.cc.o" "gcc" "src/CMakeFiles/qcap.dir/autonomic/scaler.cc.o.d"
+  "/root/repo/src/autonomic/segmentation.cc" "src/CMakeFiles/qcap.dir/autonomic/segmentation.cc.o" "gcc" "src/CMakeFiles/qcap.dir/autonomic/segmentation.cc.o.d"
+  "/root/repo/src/cluster/backend_node.cc" "src/CMakeFiles/qcap.dir/cluster/backend_node.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/backend_node.cc.o.d"
+  "/root/repo/src/cluster/controller.cc" "src/CMakeFiles/qcap.dir/cluster/controller.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/controller.cc.o.d"
+  "/root/repo/src/cluster/event_queue.cc" "src/CMakeFiles/qcap.dir/cluster/event_queue.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/event_queue.cc.o.d"
+  "/root/repo/src/cluster/fault_plan.cc" "src/CMakeFiles/qcap.dir/cluster/fault_plan.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/fault_plan.cc.o.d"
+  "/root/repo/src/cluster/pending_index.cc" "src/CMakeFiles/qcap.dir/cluster/pending_index.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/pending_index.cc.o.d"
+  "/root/repo/src/cluster/scheduler.cc" "src/CMakeFiles/qcap.dir/cluster/scheduler.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/scheduler.cc.o.d"
+  "/root/repo/src/cluster/simulator.cc" "src/CMakeFiles/qcap.dir/cluster/simulator.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/simulator.cc.o.d"
+  "/root/repo/src/cluster/stats.cc" "src/CMakeFiles/qcap.dir/cluster/stats.cc.o" "gcc" "src/CMakeFiles/qcap.dir/cluster/stats.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/qcap.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/qcap.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/qcap.dir/common/random.cc.o" "gcc" "src/CMakeFiles/qcap.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/qcap.dir/common/status.cc.o" "gcc" "src/CMakeFiles/qcap.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/qcap.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/qcap.dir/common/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/qcap.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/qcap.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/CMakeFiles/qcap.dir/engine/catalog.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/catalog.cc.o.d"
+  "/root/repo/src/engine/cost_estimator.cc" "src/CMakeFiles/qcap.dir/engine/cost_estimator.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/cost_estimator.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/CMakeFiles/qcap.dir/engine/cost_model.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/cost_model.cc.o.d"
+  "/root/repo/src/engine/datagen.cc" "src/CMakeFiles/qcap.dir/engine/datagen.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/datagen.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/qcap.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/schema_io.cc" "src/CMakeFiles/qcap.dir/engine/schema_io.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/schema_io.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/CMakeFiles/qcap.dir/engine/table.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/table.cc.o.d"
+  "/root/repo/src/engine/types.cc" "src/CMakeFiles/qcap.dir/engine/types.cc.o" "gcc" "src/CMakeFiles/qcap.dir/engine/types.cc.o.d"
+  "/root/repo/src/model/allocation.cc" "src/CMakeFiles/qcap.dir/model/allocation.cc.o" "gcc" "src/CMakeFiles/qcap.dir/model/allocation.cc.o.d"
+  "/root/repo/src/model/backend.cc" "src/CMakeFiles/qcap.dir/model/backend.cc.o" "gcc" "src/CMakeFiles/qcap.dir/model/backend.cc.o.d"
+  "/root/repo/src/model/json_export.cc" "src/CMakeFiles/qcap.dir/model/json_export.cc.o" "gcc" "src/CMakeFiles/qcap.dir/model/json_export.cc.o.d"
+  "/root/repo/src/model/metrics.cc" "src/CMakeFiles/qcap.dir/model/metrics.cc.o" "gcc" "src/CMakeFiles/qcap.dir/model/metrics.cc.o.d"
+  "/root/repo/src/model/report.cc" "src/CMakeFiles/qcap.dir/model/report.cc.o" "gcc" "src/CMakeFiles/qcap.dir/model/report.cc.o.d"
+  "/root/repo/src/model/validation.cc" "src/CMakeFiles/qcap.dir/model/validation.cc.o" "gcc" "src/CMakeFiles/qcap.dir/model/validation.cc.o.d"
+  "/root/repo/src/net/dispatcher.cc" "src/CMakeFiles/qcap.dir/net/dispatcher.cc.o" "gcc" "src/CMakeFiles/qcap.dir/net/dispatcher.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/CMakeFiles/qcap.dir/net/frame.cc.o" "gcc" "src/CMakeFiles/qcap.dir/net/frame.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/CMakeFiles/qcap.dir/net/server.cc.o" "gcc" "src/CMakeFiles/qcap.dir/net/server.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/CMakeFiles/qcap.dir/net/socket.cc.o" "gcc" "src/CMakeFiles/qcap.dir/net/socket.cc.o.d"
+  "/root/repo/src/physical/etl_cost.cc" "src/CMakeFiles/qcap.dir/physical/etl_cost.cc.o" "gcc" "src/CMakeFiles/qcap.dir/physical/etl_cost.cc.o.d"
+  "/root/repo/src/physical/physical_allocator.cc" "src/CMakeFiles/qcap.dir/physical/physical_allocator.cc.o" "gcc" "src/CMakeFiles/qcap.dir/physical/physical_allocator.cc.o.d"
+  "/root/repo/src/physical/scaling.cc" "src/CMakeFiles/qcap.dir/physical/scaling.cc.o" "gcc" "src/CMakeFiles/qcap.dir/physical/scaling.cc.o.d"
+  "/root/repo/src/solver/hungarian.cc" "src/CMakeFiles/qcap.dir/solver/hungarian.cc.o" "gcc" "src/CMakeFiles/qcap.dir/solver/hungarian.cc.o.d"
+  "/root/repo/src/solver/milp.cc" "src/CMakeFiles/qcap.dir/solver/milp.cc.o" "gcc" "src/CMakeFiles/qcap.dir/solver/milp.cc.o.d"
+  "/root/repo/src/solver/simplex.cc" "src/CMakeFiles/qcap.dir/solver/simplex.cc.o" "gcc" "src/CMakeFiles/qcap.dir/solver/simplex.cc.o.d"
+  "/root/repo/src/workload/classifier.cc" "src/CMakeFiles/qcap.dir/workload/classifier.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workload/classifier.cc.o.d"
+  "/root/repo/src/workload/fragment.cc" "src/CMakeFiles/qcap.dir/workload/fragment.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workload/fragment.cc.o.d"
+  "/root/repo/src/workload/journal.cc" "src/CMakeFiles/qcap.dir/workload/journal.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workload/journal.cc.o.d"
+  "/root/repo/src/workload/journal_io.cc" "src/CMakeFiles/qcap.dir/workload/journal_io.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workload/journal_io.cc.o.d"
+  "/root/repo/src/workload/query.cc" "src/CMakeFiles/qcap.dir/workload/query.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workload/query.cc.o.d"
+  "/root/repo/src/workload/query_class.cc" "src/CMakeFiles/qcap.dir/workload/query_class.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workload/query_class.cc.o.d"
+  "/root/repo/src/workload/sql_parser.cc" "src/CMakeFiles/qcap.dir/workload/sql_parser.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workload/sql_parser.cc.o.d"
+  "/root/repo/src/workloads/journal_synth.cc" "src/CMakeFiles/qcap.dir/workloads/journal_synth.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workloads/journal_synth.cc.o.d"
+  "/root/repo/src/workloads/timeseries.cc" "src/CMakeFiles/qcap.dir/workloads/timeseries.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workloads/timeseries.cc.o.d"
+  "/root/repo/src/workloads/tpcapp.cc" "src/CMakeFiles/qcap.dir/workloads/tpcapp.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workloads/tpcapp.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/CMakeFiles/qcap.dir/workloads/tpch.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workloads/tpch.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/qcap.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/qcap.dir/workloads/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

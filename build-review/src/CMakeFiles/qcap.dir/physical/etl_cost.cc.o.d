@@ -1,0 +1,3 @@
+src/CMakeFiles/qcap.dir/physical/etl_cost.cc.o: \
+ /root/repo/src/physical/etl_cost.cc /usr/include/stdc-predef.h \
+ /root/repo/src/physical/etl_cost.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_estimator_test.dir/cost_estimator_test.cc.o"
+  "CMakeFiles/cost_estimator_test.dir/cost_estimator_test.cc.o.d"
+  "cost_estimator_test"
+  "cost_estimator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_lifecycle_test.dir/failover_lifecycle_test.cc.o"
+  "CMakeFiles/failover_lifecycle_test.dir/failover_lifecycle_test.cc.o.d"
+  "failover_lifecycle_test"
+  "failover_lifecycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

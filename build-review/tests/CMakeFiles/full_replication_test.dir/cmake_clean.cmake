@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_replication_test.dir/full_replication_test.cc.o"
+  "CMakeFiles/full_replication_test.dir/full_replication_test.cc.o.d"
+  "full_replication_test"
+  "full_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_corner_test.dir/greedy_corner_test.cc.o"
+  "CMakeFiles/greedy_corner_test.dir/greedy_corner_test.cc.o.d"
+  "greedy_corner_test"
+  "greedy_corner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_io_test.dir/journal_io_test.cc.o"
+  "CMakeFiles/journal_io_test.dir/journal_io_test.cc.o.d"
+  "journal_io_test"
+  "journal_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

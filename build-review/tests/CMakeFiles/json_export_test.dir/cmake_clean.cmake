@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_export_test.dir/json_export_test.cc.o"
+  "CMakeFiles/json_export_test.dir/json_export_test.cc.o.d"
+  "json_export_test"
+  "json_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksafety_test.dir/ksafety_test.cc.o"
+  "CMakeFiles/ksafety_test.dir/ksafety_test.cc.o.d"
+  "ksafety_test"
+  "ksafety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksafety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

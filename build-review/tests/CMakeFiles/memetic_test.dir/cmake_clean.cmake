@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memetic_test.dir/memetic_test.cc.o"
+  "CMakeFiles/memetic_test.dir/memetic_test.cc.o.d"
+  "memetic_test"
+  "memetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

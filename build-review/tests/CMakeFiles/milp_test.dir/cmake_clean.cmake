@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/milp_test.dir/milp_test.cc.o"
+  "CMakeFiles/milp_test.dir/milp_test.cc.o.d"
+  "milp_test"
+  "milp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/milp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_protocol_test.dir/net_protocol_test.cc.o"
+  "CMakeFiles/net_protocol_test.dir/net_protocol_test.cc.o.d"
+  "net_protocol_test"
+  "net_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_allocator_test.dir/random_allocator_test.cc.o"
+  "CMakeFiles/random_allocator_test.dir/random_allocator_test.cc.o.d"
+  "random_allocator_test"
+  "random_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

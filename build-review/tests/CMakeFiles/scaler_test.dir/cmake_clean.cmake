@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaler_test.dir/scaler_test.cc.o"
+  "CMakeFiles/scaler_test.dir/scaler_test.cc.o.d"
+  "scaler_test"
+  "scaler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

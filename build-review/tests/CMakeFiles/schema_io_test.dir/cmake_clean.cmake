@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_io_test.dir/schema_io_test.cc.o"
+  "CMakeFiles/schema_io_test.dir/schema_io_test.cc.o.d"
+  "schema_io_test"
+  "schema_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

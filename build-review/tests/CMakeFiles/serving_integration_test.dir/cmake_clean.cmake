@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_integration_test.dir/serving_integration_test.cc.o"
+  "CMakeFiles/serving_integration_test.dir/serving_integration_test.cc.o.d"
+  "serving_integration_test"
+  "serving_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcapp_test.dir/tpcapp_test.cc.o"
+  "CMakeFiles/tpcapp_test.dir/tpcapp_test.cc.o.d"
+  "tpcapp_test"
+  "tpcapp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcapp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
