@@ -55,7 +55,8 @@ bool RunSelfCheck(uint16_t port) {
   const char* script[] = {
       "HEALTH",       "SUBMIT R0", "SUBMIT R0", "DONE 0",
       "SUBMIT U0",    "STATS",     "FAULT CRASH 1", "SUBMIT R0",
-      "FAULT RECOVER 1", "METRICS", "QUIT",
+      "FAULT RECOVER 1", "FAULT DEGRADE 1 1.5", "FAULT DEGRADE 1 1",
+      "RELOAD 5",     "SUBMIT R0", "METRICS",   "QUIT",
   };
   for (const char* request : script) {
     auto reply = client->Call(request);
@@ -135,6 +136,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "create: %s\n", server.status().ToString().c_str());
     return 1;
   }
+  // RELOAD [backends]: recompute the allocation (optionally on a new
+  // cluster size) and hot-swap the routing table without dropping a
+  // session — the serving-side half of the adaptive control loop
+  // (autonomic/control_loop.h decides, this endpoint executes).
+  (*server)->dispatcher().SetReloadProvider(
+      [&cls](std::string_view tag) -> Result<net::RoutingTable> {
+        size_t n = 0;
+        for (char c : tag) {
+          if (c < '0' || c > '9') {
+            return Status::InvalidArgument("tag must be a backend count");
+          }
+          n = n * 10 + static_cast<size_t>(c - '0');
+        }
+        if (tag.empty() || n == 0 || n > 64) {
+          return Status::InvalidArgument(
+              "usage: RELOAD <backends in 1..64>");
+        }
+        const std::vector<BackendSpec> target = HomogeneousBackends(n);
+        GreedyAllocator allocator;
+        QCAP_ASSIGN_OR_RETURN(Allocation next,
+                              allocator.Allocate(*cls, target));
+        QCAP_RETURN_NOT_OK(ValidateAllocation(*cls, next, target));
+        return net::RoutingTable{*cls, std::move(next)};
+      });
   if (Status st = (*server)->Start(); !st.ok()) {
     std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
     return 1;

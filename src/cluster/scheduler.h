@@ -44,6 +44,13 @@ class Scheduler {
   /// keys in sync with backend pending counts and liveness.
   const PendingIndex& pending_index() const { return index_prototype_; }
 
+  /// Tie-rotation state: advanced once per PickReadBackend call. A routing
+  /// hot-swap (Dispatcher::SwapRouting) carries it into the replacement
+  /// scheduler so decisions for classes whose candidate sets are unchanged
+  /// stay bit-identical across the swap boundary.
+  size_t rotation() const { return rotation_; }
+  void set_rotation(size_t rotation) { rotation_ = rotation; }
+
  private:
   std::vector<std::vector<size_t>> read_candidates_;
   std::vector<std::vector<size_t>> update_targets_;

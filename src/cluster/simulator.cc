@@ -75,6 +75,9 @@ struct ClusterSimulator::RunState {
   double last_completion = 0.0;
   double timeline_bin = 0.0;
   std::vector<uint64_t> timeline;
+  /// Completed logical requests per class; empty when mix tracking is off
+  /// (sized once in InitRun, so the hot-path increment never grows it).
+  std::vector<uint64_t> class_counts;
   size_t dead_count = 0;
   uint64_t next_seq = 0;
   // Lazy open-loop arrival generation: one outstanding arrival event at a
@@ -118,6 +121,7 @@ struct ClusterSimulator::RunState {
     last_completion = 0.0;
     timeline_bin = 0.0;
     timeline.clear();
+    class_counts.clear();
     next_seq = 0;
     arrival_time = 0.0;
     arrival_horizon = 0.0;
@@ -156,6 +160,7 @@ struct ClusterSimulator::RunState {
       if (bin >= timeline.size()) timeline.resize(bin + 1, 0);
       ++timeline[bin];
     }
+    if (!class_counts.empty()) ++class_counts[req.class_index];
     if (req.is_update) {
       ++completed_updates;
     } else {
@@ -522,6 +527,9 @@ Status ClusterSimulator::InitRun(RunState* state) const {
   state->pending = scheduler_.pending_index();
   state->pending.ResetKeys();
   state->timeline_bin = config_.timeline_bin_seconds;
+  if (config_.track_class_mix) {
+    state->class_counts.assign(cls_.NumClasses(), 0);
+  }
   state->faults = faults_;
   state->events.Reserve(state->faults.size() + 64);
   // Fault events enter the queue first, so a fault scheduled at exactly an
@@ -676,6 +684,7 @@ void ClusterSimulator::FinishInto(RunState* state, SimStats* out) const {
   out->recovery_seconds = 0.0;
   out->timeline_bin_seconds = state->timeline_bin;
   out->timeline_completions = state->timeline;
+  out->class_completions = state->class_counts;
   out->backend_busy_seconds.clear();
   out->backend_busy_seconds.reserve(state->nodes.size());
   for (const BackendNode& node : state->nodes) {

@@ -101,6 +101,10 @@ struct SimulationConfig {
   /// When > 0, SimStats::timeline_completions counts completions per bin
   /// of this width (seconds) — used to plot throughput dips around faults.
   double timeline_bin_seconds = 0.0;
+  /// When true, SimStats::class_completions counts completed logical
+  /// requests per class (reads first, then updates) — the observed-mix
+  /// signal the adaptive control loop's drift detector consumes.
+  bool track_class_mix = false;
 };
 
 /// Options for RunClosedSweep/RunOpenSweep replication fans.

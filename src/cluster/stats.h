@@ -52,6 +52,10 @@ struct SimStats {
   /// is > 0 (bin i covers [i*bin, (i+1)*bin) simulated seconds).
   double timeline_bin_seconds = 0.0;
   std::vector<uint64_t> timeline_completions;
+  /// Completed logical requests per class (reads first, then updates) when
+  /// SimulationConfig::track_class_mix is set — the observed workload mix
+  /// the adaptive control loop's drift detector feeds on. Empty otherwise.
+  std::vector<uint64_t> class_completions;
 
   uint64_t completed_total() const { return completed_reads + completed_updates; }
 

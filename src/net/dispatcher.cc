@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "cluster/pending_index.h"
 
@@ -69,8 +71,10 @@ Dispatcher::Dispatcher(Scheduler scheduler, size_t num_backends,
       num_backends_(num_backends),
       num_reads_(num_reads),
       num_updates_(num_updates),
+      limits_(limits),
       pending_(num_backends, 0),
-      alive_(num_backends, true) {
+      alive_(num_backends, true),
+      degrade_(num_backends, 1.0) {
   if (limits.rate_limit_qps > 0.0) {
     const double burst = limits.rate_limit_burst > 0.0
                              ? limits.rate_limit_burst
@@ -102,6 +106,7 @@ Dispatcher::Reply Dispatcher::Execute(std::string_view request,
   }
   if (verb == "HEALTH") return Reply{HealthLine(now_seconds), false, false};
   if (verb == "FAULT") return Fault(fields);
+  if (verb == "RELOAD") return Reload(fields);
   if (verb == "QUIT") return Reply{"OK BYE", true, false};
   return bad("unknown verb '" + verb + "'");
 }
@@ -183,12 +188,16 @@ Dispatcher::Reply Dispatcher::Done(const std::vector<std::string>& args) {
 }
 
 Dispatcher::Reply Dispatcher::Fault(const std::vector<std::string>& args) {
+  const bool is_degrade = args.size() >= 2 && args[1] == "DEGRADE";
   size_t backend = 0;
-  if (args.size() != 3 || (args[1] != "CRASH" && args[1] != "RECOVER") ||
+  const size_t want_args = is_degrade ? 4u : 3u;
+  if (args.size() != want_args ||
+      (args[1] != "CRASH" && args[1] != "RECOVER" && !is_degrade) ||
       !ParseIndex(args[2], &backend)) {
     ++counters_.bad_requests;
-    return {"ERR BAD_REQUEST usage: FAULT CRASH|RECOVER <backend>", false,
-            false};
+    return {"ERR BAD_REQUEST usage: FAULT CRASH|RECOVER <backend> | "
+            "FAULT DEGRADE <backend> <factor>",
+            false, false};
   }
   if (backend >= num_backends_) {
     ++counters_.bad_requests;
@@ -199,15 +208,120 @@ Dispatcher::Reply Dispatcher::Fault(const std::vector<std::string>& args) {
   if (args[1] == "CRASH") {
     // Idempotent: crashing a dead backend re-asserts the state. The dead
     // key makes the backend lose every least-pending comparison, exactly
-    // like the simulator's crash handling.
+    // like the simulator's crash handling (which also clears any straggler
+    // state on crash).
     alive_[backend] = false;
     pending_[backend] = kDead;
+    degrade_[backend] = 1.0;
     return {"OK FAULT crashed " + std::to_string(backend), false, false};
   }
-  // Recovery rejoins with an empty queue (the crash destroyed its work).
+  if (is_degrade) {
+    // Straggler injection, mirroring FaultEvent::kDegrade: the backend
+    // keeps serving at `factor` times its nominal service time; 1 restores
+    // full speed. Routing policy is unchanged (the simulator's dispatch
+    // also ignores degrade — slow backends shed load through their pending
+    // depth), so this is observability plus parity with FaultPlan chaos
+    // scripts, exposed as qcap_backend_degrade in METRICS.
+    const double factor = std::atof(args[3].c_str());
+    if (!(factor > 0.0) || !std::isfinite(factor)) {
+      ++counters_.bad_requests;
+      return {"ERR BAD_REQUEST degrade factor must be finite and > 0", false,
+              false};
+    }
+    if (!alive_[backend]) {
+      ++counters_.bad_requests;
+      return {"ERR BAD_REQUEST cannot degrade a crashed backend", false,
+              false};
+    }
+    degrade_[backend] = factor;
+    return {"OK FAULT degraded " + std::to_string(backend) + " factor " +
+                FormatMetric(factor),
+            false, false};
+  }
+  // Recovery rejoins with an empty queue (the crash destroyed its work)
+  // and at full speed.
   alive_[backend] = true;
   pending_[backend] = 0;
+  degrade_[backend] = 1.0;
   return {"OK FAULT recovered " + std::to_string(backend), false, false};
+}
+
+Dispatcher::Reply Dispatcher::Reload(const std::vector<std::string>& args) {
+  if (args.size() > 2) {
+    ++counters_.bad_requests;
+    return {"ERR BAD_REQUEST usage: RELOAD [tag]", false, false};
+  }
+  if (!reload_provider_) {
+    return {"ERR NO_PROVIDER this server has no reload provider installed",
+            false, false};
+  }
+  const std::string tag = args.size() == 2 ? args[1] : "";
+  // The provider runs under the routing lock: the poll loop is the only
+  // traffic source, and it is the caller — a swap mid-request cannot
+  // happen. Embedders registering slow providers accept the serving pause
+  // (documented in SERVING.md).
+  Result<RoutingTable> table = reload_provider_(tag);
+  if (!table.ok()) {
+    return {"ERR RELOAD_FAILED " + table.status().message(), false, false};
+  }
+  if (Status swapped = SwapRoutingLocked(table->cls, table->alloc);
+      !swapped.ok()) {
+    return {"ERR RELOAD_FAILED " + swapped.message(), false, false};
+  }
+  return {"OK RELOAD generation=" + std::to_string(counters_.routing_generation) +
+              " backends=" + std::to_string(num_backends_) +
+              " read_classes=" + std::to_string(num_reads_) +
+              " update_classes=" + std::to_string(num_updates_),
+          false, false};
+}
+
+Status Dispatcher::SwapRoutingLocked(const Classification& cls,
+                                     const Allocation& alloc) {
+  QCAP_ASSIGN_OR_RETURN(Scheduler next, Scheduler::Build(cls, alloc));
+  // Tie-rotation state survives the swap: for a class whose candidate set
+  // is unchanged, the pick sequence continues exactly as if no swap had
+  // happened (every SUBMIT R advances rotation by one, swapped or not).
+  next.set_rotation(scheduler_.rotation());
+  scheduler_ = std::move(next);
+  const size_t backends = alloc.num_backends();
+  // Backends are identified by index across the swap: surviving indices
+  // keep their pending depth, liveness (a crashed backend stays crashed,
+  // kDead key and all), and degrade factor; scale-out joiners start alive
+  // and idle; scale-in leavers are dropped.
+  pending_.resize(backends, 0);
+  alive_.resize(backends, true);
+  degrade_.resize(backends, 1.0);
+  num_backends_ = backends;
+  num_reads_ = cls.reads.size();
+  num_updates_ = cls.updates.size();
+  if (limits_.rate_limit_qps > 0.0) {
+    // Existing classes keep their bucket fill (spent budget is workload
+    // state, not routing state); new classes start with a full bucket.
+    const double burst = limits_.rate_limit_burst > 0.0
+                             ? limits_.rate_limit_burst
+                             : std::max(1.0, limits_.rate_limit_qps);
+    buckets_.resize(num_reads_ + num_updates_,
+                    TokenBucket(limits_.rate_limit_qps, burst));
+  }
+  ++counters_.reloads;
+  ++counters_.routing_generation;
+  return Status::OK();
+}
+
+Status Dispatcher::SwapRouting(const Classification& cls,
+                               const Allocation& alloc) {
+  std::lock_guard<std::mutex> guard(lock_);
+  return SwapRoutingLocked(cls, alloc);
+}
+
+void Dispatcher::SetReloadProvider(ReloadProvider provider) {
+  std::lock_guard<std::mutex> guard(lock_);
+  reload_provider_ = std::move(provider);
+}
+
+uint64_t Dispatcher::routing_generation() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return counters_.routing_generation;
 }
 
 std::string Dispatcher::StatsLine() const {
@@ -229,6 +343,7 @@ std::string Dispatcher::StatsLine() const {
     if (b > 0) out += ',';
     out += alive_[b] ? '1' : '0';
   }
+  out += " generation=" + std::to_string(counters_.routing_generation);
   return out;
 }
 
@@ -276,6 +391,13 @@ std::string Dispatcher::MetricsText(double now_seconds) {
     out += "qcap_backend_alive{backend=\"" + std::to_string(b) + "\"} " +
            std::string(alive_[b] ? "1" : "0") + "\n";
   }
+  for (size_t b = 0; b < num_backends_; ++b) {
+    out += "qcap_backend_degrade{backend=\"" + std::to_string(b) + "\"} " +
+           FormatMetric(degrade_[b]) + "\n";
+  }
+  out += "qcap_routing_generation " +
+         std::to_string(counters_.routing_generation) + "\n";
+  out += "qcap_reloads_total " + std::to_string(counters_.reloads) + "\n";
   return out;
 }
 
@@ -288,7 +410,8 @@ std::string Dispatcher::HealthLine(double now_seconds) const {
          " alive=" + std::to_string(alive) +
          " read_classes=" + std::to_string(num_reads_) +
          " update_classes=" + std::to_string(num_updates_) +
-         " uptime_seconds=" + FormatMetric(now_seconds);
+         " uptime_seconds=" + FormatMetric(now_seconds) +
+         " generation=" + std::to_string(counters_.routing_generation);
 }
 
 void Dispatcher::RecordRoutingLatency(double seconds) {
@@ -301,9 +424,11 @@ ServingCounters Dispatcher::Snapshot() const {
   ServingCounters out = counters_;
   out.pending.resize(num_backends_);
   out.alive.resize(num_backends_);
+  out.degrade.resize(num_backends_);
   for (size_t b = 0; b < num_backends_; ++b) {
     out.pending[b] = alive_[b] ? pending_[b] : 0;
     out.alive[b] = alive_[b];
+    out.degrade[b] = degrade_[b];
   }
   return out;
 }

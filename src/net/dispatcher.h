@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,8 +49,19 @@ struct ServingCounters {
   uint64_t unservable = 0;        ///< SUBMITs with no live capable backend.
   uint64_t bad_requests = 0;      ///< Parse/validation failures.
   uint64_t done_acks = 0;         ///< DONE completions applied.
+  uint64_t reloads = 0;           ///< Routing-table hot-swaps applied.
+  uint64_t routing_generation = 1;  ///< Bumped by every successful swap.
   std::vector<size_t> pending;    ///< Per-backend outstanding depth.
   std::vector<bool> alive;        ///< Per-backend liveness.
+  std::vector<double> degrade;    ///< Per-backend straggler factor (1 = ok).
+};
+
+/// A (Classification, Allocation) pair a RELOAD provider hands back; the
+/// dispatcher builds its replacement routing table from it (nothing is
+/// retained after the swap — Scheduler::Build copies what it needs).
+struct RoutingTable {
+  Classification cls;
+  Allocation alloc;
 };
 
 /// \brief Thread-safe request executor over one (Classification,
@@ -87,6 +99,32 @@ class Dispatcher {
   /// Counter snapshot under the routing lock.
   ServingCounters Snapshot() const;
 
+  /// Atomically replaces the routing table (the serving half of the
+  /// adaptive control loop's migration cut-over). Builds the new scheduler
+  /// first — on failure the old table keeps serving untouched. On success:
+  ///  - tie-rotation state carries over, so decisions for classes whose
+  ///    candidate sets are unchanged are bit-identical across the swap
+  ///    boundary (pinned by control_loop_test);
+  ///  - per-backend pending depth, liveness, and degrade factors carry
+  ///    over by index; backends added by a scale-out join alive and idle,
+  ///    backends dropped by a scale-in are forgotten;
+  ///  - admission buckets keep their fill level for existing classes (the
+  ///    budget already spent is workload state, not routing state), new
+  ///    classes start with a full bucket;
+  ///  - the routing generation is bumped (METRICS: qcap_routing_generation).
+  /// Thread-safe: callers may swap while the poll loop executes traffic.
+  Status SwapRouting(const Classification& cls, const Allocation& alloc);
+
+  /// Handler behind the RELOAD wire verb: maps the verb's tag argument to
+  /// a replacement routing table (e.g. by re-running the allocator).
+  /// Without a provider, RELOAD answers ERR NO_PROVIDER.
+  using ReloadProvider =
+      std::function<Result<RoutingTable>(std::string_view tag)>;
+  void SetReloadProvider(ReloadProvider provider);
+
+  /// Current routing-table generation (1 until the first swap).
+  uint64_t routing_generation() const;
+
   size_t num_backends() const { return num_backends_; }
   size_t num_read_classes() const { return num_reads_; }
   size_t num_update_classes() const { return num_updates_; }
@@ -99,21 +137,30 @@ class Dispatcher {
   Reply Submit(const std::vector<std::string>& args, double now_seconds);
   Reply Done(const std::vector<std::string>& args);
   Reply Fault(const std::vector<std::string>& args);
+  Reply Reload(const std::vector<std::string>& args);
   std::string StatsLine() const;
   std::string MetricsText(double now_seconds);
   std::string HealthLine(double now_seconds) const;
+  /// SwapRouting's body; runs under lock_.
+  Status SwapRoutingLocked(const Classification& cls, const Allocation& alloc);
 
   mutable std::mutex lock_;  ///< The single routing lock.
   Scheduler scheduler_;
   size_t num_backends_;
   size_t num_reads_;
   size_t num_updates_;
+  ServingLimits limits_;  ///< Kept so a swap can build buckets for new classes.
   /// Per-backend outstanding request depth; a crashed backend's slot holds
   /// PendingIndex::kDeadKey so it loses every least-pending comparison.
   std::vector<size_t> pending_;
   std::vector<bool> alive_;
+  /// Per-backend straggler factor (FAULT DEGRADE); informational — routing
+  /// stays least-pending-first, mirroring the simulator, where degrade
+  /// slows service times but never changes dispatch policy.
+  std::vector<double> degrade_;
   /// One bucket per class (reads then updates); empty = admission off.
   std::vector<TokenBucket> buckets_;
+  ReloadProvider reload_provider_;
   ServingCounters counters_;
   /// Routing-latency samples; shares SimStats' percentile machinery.
   ResponseAccumulator latency_;

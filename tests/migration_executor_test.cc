@@ -1,0 +1,178 @@
+#include "cluster/migration_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "model/backend.h"
+
+namespace qcap {
+namespace {
+
+TransitionPlan TwoBackendPlan() {
+  TransitionPlan plan;
+  plan.source_of = {0, 1};
+  plan.move_bytes = {100e6, 0.0};
+  plan.total_bytes = 100e6;
+  plan.duration_seconds = 10.0;
+  return plan;
+}
+
+Allocation TwoBackendAllocation() {
+  Allocation alloc(2, 4, 1, 1);
+  for (size_t b = 0; b < 2; ++b) {
+    for (FragmentId f = 0; f < 4; ++f) alloc.Place(b, f);
+  }
+  return alloc;
+}
+
+TEST(MigrationExecutorTest, StagesAndTimesFollowThePlan) {
+  MigrationExecutor executor;
+  MigrationOptions options;  // slowdown 1.25, catchup 10%, floor 0.5s
+  ASSERT_TRUE(executor
+                  .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                         TwoBackendPlan(), 100.0, options)
+                  .ok());
+  ASSERT_TRUE(executor.active());
+
+  // Copy: 10s plan duration stretched by 1.25 while serving = 12.5s;
+  // catch-up: 10% of that = 1.25s.
+  EXPECT_DOUBLE_EQ(executor.start_seconds(), 100.0);
+  EXPECT_DOUBLE_EQ(executor.copy_end_seconds(), 112.5);
+  EXPECT_DOUBLE_EQ(executor.swap_seconds(), 113.75);
+  EXPECT_DOUBLE_EQ(executor.etl_seconds(), 13.75);
+  EXPECT_DOUBLE_EQ(executor.moved_bytes(), 100e6);
+
+  EXPECT_EQ(executor.PhaseAt(99.0), MigrationPhase::kIdle);
+  EXPECT_EQ(executor.PhaseAt(100.0), MigrationPhase::kCopy);
+  EXPECT_EQ(executor.PhaseAt(112.0), MigrationPhase::kCopy);
+  EXPECT_EQ(executor.PhaseAt(113.0), MigrationPhase::kCatchup);
+  EXPECT_EQ(executor.PhaseAt(113.75), MigrationPhase::kDone);
+
+  // Backend 0 receives all the bytes; backend 1 is ready immediately.
+  ASSERT_EQ(executor.backend_ready_seconds().size(), 2u);
+  EXPECT_DOUBLE_EQ(executor.backend_ready_seconds()[0], 113.75);
+  EXPECT_DOUBLE_EQ(executor.backend_ready_seconds()[1], 100.0);
+
+  // Only the receiving serving node degrades.
+  ASSERT_EQ(executor.participants().size(), 1u);
+  EXPECT_EQ(executor.participants()[0], 0u);
+}
+
+TEST(MigrationExecutorTest, InterferenceWindowsClipToCopyPhase) {
+  MigrationExecutor executor;
+  ASSERT_TRUE(executor
+                  .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                         TwoBackendPlan(), 100.0, MigrationOptions{})
+                  .ok());
+
+  // Window fully inside COPY.
+  auto inside = executor.InterferenceIn(101.0, 105.0);
+  ASSERT_EQ(inside.size(), 1u);
+  EXPECT_EQ(inside[0].backend, 0u);
+  EXPECT_DOUBLE_EQ(inside[0].begin_seconds, 101.0);
+  EXPECT_DOUBLE_EQ(inside[0].end_seconds, 105.0);
+  EXPECT_DOUBLE_EQ(inside[0].factor, 1.3);
+
+  // Window straddling copy end clips to it; catch-up does not interfere.
+  auto straddle = executor.InterferenceIn(110.0, 120.0);
+  ASSERT_EQ(straddle.size(), 1u);
+  EXPECT_DOUBLE_EQ(straddle[0].end_seconds, 112.5);
+
+  // Entirely before / after the copy: nothing.
+  EXPECT_TRUE(executor.InterferenceIn(0.0, 100.0).empty());
+  EXPECT_TRUE(executor.InterferenceIn(112.5, 200.0).empty());
+
+  // Interference disabled.
+  MigrationExecutor quiet;
+  MigrationOptions options;
+  options.etl_interference = 1.0;
+  ASSERT_TRUE(quiet
+                  .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                         TwoBackendPlan(), 100.0, options)
+                  .ok());
+  EXPECT_TRUE(quiet.InterferenceIn(100.0, 120.0).empty());
+}
+
+TEST(MigrationExecutorTest, FreshNodesAreNotServingParticipants) {
+  TransitionPlan plan;
+  plan.source_of = {0, -1};  // backend 1 lands on freshly provisioned metal
+  plan.move_bytes = {0.0, 50e6};
+  plan.total_bytes = 50e6;
+  plan.duration_seconds = 5.0;
+
+  MigrationExecutor executor;
+  ASSERT_TRUE(executor
+                  .Begin(TwoBackendAllocation(), HomogeneousBackends(2), plan,
+                         0.0, MigrationOptions{})
+                  .ok());
+  EXPECT_TRUE(executor.participants().empty());
+  EXPECT_TRUE(executor.InterferenceIn(0.0, 100.0).empty());
+}
+
+TEST(MigrationExecutorTest, NoOpPlanStillTakesACatchupWindow) {
+  TransitionPlan plan;
+  plan.source_of = {0, 1};
+  plan.move_bytes = {0.0, 0.0};
+  plan.total_bytes = 0.0;
+  plan.duration_seconds = 0.0;
+
+  MigrationExecutor executor;
+  ASSERT_TRUE(executor
+                  .Begin(TwoBackendAllocation(), HomogeneousBackends(2), plan,
+                         10.0, MigrationOptions{})
+                  .ok());
+  EXPECT_GT(executor.swap_seconds(), 10.0);
+  EXPECT_EQ(executor.PhaseAt(10.1), MigrationPhase::kCatchup);
+}
+
+TEST(MigrationExecutorTest, TakeTargetCompletesAndAbortCancels) {
+  MigrationExecutor executor;
+  ASSERT_TRUE(executor
+                  .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                         TwoBackendPlan(), 0.0, MigrationOptions{})
+                  .ok());
+
+  // A second Begin while active is refused.
+  EXPECT_FALSE(executor
+                   .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                          TwoBackendPlan(), 50.0, MigrationOptions{})
+                   .ok());
+
+  Allocation target = executor.TakeTarget();
+  EXPECT_EQ(target.num_backends(), 2u);
+  EXPECT_FALSE(executor.active());
+  EXPECT_EQ(executor.PhaseAt(1000.0), MigrationPhase::kIdle);
+
+  // Reusable after completion; Abort also frees it.
+  ASSERT_TRUE(executor
+                  .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                         TwoBackendPlan(), 200.0, MigrationOptions{})
+                  .ok());
+  executor.Abort();
+  EXPECT_FALSE(executor.active());
+}
+
+TEST(MigrationExecutorTest, RejectsInvalidInputs) {
+  MigrationExecutor executor;
+  TransitionPlan plan = TwoBackendPlan();
+  plan.move_bytes.pop_back();  // dimension mismatch
+  EXPECT_FALSE(executor
+                   .Begin(TwoBackendAllocation(), HomogeneousBackends(2), plan,
+                          0.0, MigrationOptions{})
+                   .ok());
+
+  MigrationOptions bad;
+  bad.live_copy_slowdown = 0.5;
+  EXPECT_FALSE(executor
+                   .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                          TwoBackendPlan(), 0.0, bad)
+                   .ok());
+  bad = MigrationOptions{};
+  bad.etl_interference = -1.0;
+  EXPECT_FALSE(executor
+                   .Begin(TwoBackendAllocation(), HomogeneousBackends(2),
+                          TwoBackendPlan(), 0.0, bad)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace qcap

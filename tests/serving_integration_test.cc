@@ -222,9 +222,11 @@ TEST_F(ServingTest, EveryDocumentedErrorResponse) {
   EXPECT_EQ(Call(&client, "DONE 99"),
             "ERR BAD_BACKEND 99 out of range (have 4)");
   EXPECT_EQ(Call(&client, "FAULT CRASH"),
-            "ERR BAD_REQUEST usage: FAULT CRASH|RECOVER <backend>");
+            "ERR BAD_REQUEST usage: FAULT CRASH|RECOVER <backend> | "
+            "FAULT DEGRADE <backend> <factor>");
   EXPECT_EQ(Call(&client, "FAULT EXPLODE 1"),
-            "ERR BAD_REQUEST usage: FAULT CRASH|RECOVER <backend>");
+            "ERR BAD_REQUEST usage: FAULT CRASH|RECOVER <backend> | "
+            "FAULT DEGRADE <backend> <factor>");
   EXPECT_EQ(Call(&client, "FAULT CRASH 99"),
             "ERR BAD_BACKEND 99 out of range (have 4)");
   const std::string stats = Call(&client, "STATS");
