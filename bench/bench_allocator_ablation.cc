@@ -13,7 +13,7 @@
 #include "alloc/memetic.h"
 #include "alloc/optimal.h"
 #include "bench_util.h"
-#include "cluster/stats.h"
+#include "common/stats.h"
 #include "workloads/journal_synth.h"
 #include "workloads/tpcapp.h"
 #include "workloads/tpch.h"

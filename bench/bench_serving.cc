@@ -34,6 +34,7 @@
 #include "cluster/pending_index.h"
 #include "cluster/scheduler.h"
 #include "cluster/stats.h"
+#include "common/stats.h"
 #include "model/validation.h"
 #include "net/client.h"
 #include "net/server.h"

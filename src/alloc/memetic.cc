@@ -6,7 +6,7 @@
 
 #include "alloc/greedy.h"
 #include "alloc/search_kernel.h"
-#include "cluster/stats.h"
+#include "common/stats.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "model/metrics.h"

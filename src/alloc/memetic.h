@@ -23,7 +23,7 @@
 namespace qcap {
 
 class ThreadPool;       // common/thread_pool.h
-struct SearchProgress;  // cluster/stats.h
+struct SearchProgress;  // common/stats.h
 
 /// Tuning knobs for the memetic allocator.
 struct MemeticOptions {

@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "alloc/allocator.h"
-#include "cluster/stats.h"
+#include "common/stats.h"
 
 namespace qcap::alloc_internal {
 

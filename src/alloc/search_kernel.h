@@ -26,7 +26,7 @@
 
 namespace qcap {
 
-struct SearchProgress;  // cluster/stats.h
+struct SearchProgress;  // common/stats.h
 
 namespace alloc_internal {
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "common/annotations.h"
 #include "cluster/migration_executor.h"
 #include "cluster/simulator.h"
 #include "physical/physical_allocator.h"
@@ -242,12 +243,18 @@ class AdaptiveController {
   /// transition.
   Status BeginResegmentation(double decided_seconds, double p99_before_ms);
 
+  // The controller is single-threaded by contract: every entry point runs
+  // on the operator's control thread (docs/ADAPTIVE.md), and cross-thread
+  // work happens through the Dispatcher's own routing lock, never by
+  // sharing this state. Confined, not guarded.
+  QCAP_THREAD_CONFINED("operator control thread")
   Classification base_;
   Allocator* allocator_;
   AdaptiveOptions options_;
   PhysicalAllocator physical_;
   MigrationExecutor migration_;
 
+  QCAP_THREAD_CONFINED("operator control thread")
   Allocation alloc_;
   size_t nodes_ = 0;
   std::vector<bool> alive_;

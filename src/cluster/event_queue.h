@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace qcap {
 
 /// One simulator event. POD payload stored in the EventQueue arena.
@@ -137,8 +139,14 @@ class EventQueue {
   /// cache line of HeapEntry values.
   static constexpr size_t kArity = 4;
 
+  // The calendar belongs to one simulator instance; the simulator's drain
+  // loop is strictly single-threaded (determinism is the whole point), so
+  // the pools are thread-confined rather than locked.
+  QCAP_THREAD_CONFINED("owning Simulator's drain loop")
   std::vector<SimEvent> arena_;
+  QCAP_THREAD_CONFINED("owning Simulator's drain loop")
   std::vector<uint32_t> free_;  // LIFO recycled arena slots.
+  QCAP_THREAD_CONFINED("owning Simulator's drain loop")
   std::vector<HeapEntry> heap_;
 };
 

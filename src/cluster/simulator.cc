@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/backend_node.h"
+#include "common/stats.h"
 #include "cluster/event_queue.h"
 #include "cluster/pending_index.h"
 #include <bit>

@@ -23,7 +23,7 @@
 #include "cluster/scheduler.h"
 #include "cluster/stats.h"
 #include "common/random.h"
-#include "engine/cost_model.h"
+#include "exec/cost_model.h"
 #include "model/allocation.h"
 #include "model/backend.h"
 #include "workload/query_class.h"

@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -31,8 +31,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit loop rather than a predicate lambda: clang's thread-safety
+      // analysis cannot see that the lambda runs under the wait's lock.
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -44,7 +46,7 @@ void ThreadPool::WorkerLoop() {
 bool ThreadPool::RunOnePending() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();

@@ -22,10 +22,11 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace qcap {
 
@@ -60,7 +61,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -70,16 +71,20 @@ class ThreadPool {
   /// Runs one pending task on the calling thread, if any is queued.
   /// Returns false when the queue was empty. Used by threads that would
   /// otherwise block on pool work (nested-parallelism deadlock avoidance).
-  bool RunOnePending();
+  bool RunOnePending() QCAP_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() QCAP_EXCLUDES(mu_);
 
+  /// Joined only by the destructor; never mutated after construction.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ QCAP_GUARDED_BY(mu_);
+  Mutex mu_;
+  /// condition_variable_any so it can wait on the annotated MutexLock
+  /// (the wait's internal unlock/relock is invisible to the analysis and
+  /// nets out to zero).
+  std::condition_variable_any cv_;
+  bool stop_ QCAP_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Runs body(i) for every i in [0, n), distributing indices over

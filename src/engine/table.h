@@ -1,6 +1,6 @@
 // In-memory column-store tables: the physical substrate behind the
 // catalog's size accounting. Generated data is scanned by the calibrator
-// (engine/executor.h) to ground the simulator's cost model in measured
+// (exec/executor.h) to ground the simulator's cost model in measured
 // behaviour rather than assumed constants.
 #pragma once
 

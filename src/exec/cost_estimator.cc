@@ -1,4 +1,4 @@
-#include "engine/cost_estimator.h"
+#include "exec/cost_estimator.h"
 
 #include <algorithm>
 #include <cmath>

@@ -1,4 +1,4 @@
-#include "engine/cost_model.h"
+#include "exec/cost_model.h"
 
 #include <algorithm>
 #include <map>

@@ -1,4 +1,4 @@
-#include "engine/executor.h"
+#include "exec/executor.h"
 
 #include <algorithm>
 #include <chrono>

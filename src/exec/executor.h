@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "engine/cost_model.h"
+#include "exec/cost_model.h"
 #include "engine/table.h"
 
 namespace qcap::engine {

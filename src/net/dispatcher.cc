@@ -89,7 +89,7 @@ Dispatcher::Dispatcher(Scheduler scheduler, size_t num_backends,
 
 Dispatcher::Reply Dispatcher::Execute(std::string_view request,
                                       double now_seconds) {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   ++counters_.requests_total;
   const std::vector<std::string> fields = SplitFields(request);
   auto bad = [this](const std::string& msg) {
@@ -310,18 +310,33 @@ Status Dispatcher::SwapRoutingLocked(const Classification& cls,
 
 Status Dispatcher::SwapRouting(const Classification& cls,
                                const Allocation& alloc) {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   return SwapRoutingLocked(cls, alloc);
 }
 
 void Dispatcher::SetReloadProvider(ReloadProvider provider) {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   reload_provider_ = std::move(provider);
 }
 
 uint64_t Dispatcher::routing_generation() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   return counters_.routing_generation;
+}
+
+size_t Dispatcher::num_backends() const {
+  MutexLock guard(lock_);
+  return num_backends_;
+}
+
+size_t Dispatcher::num_read_classes() const {
+  MutexLock guard(lock_);
+  return num_reads_;
+}
+
+size_t Dispatcher::num_update_classes() const {
+  MutexLock guard(lock_);
+  return num_updates_;
 }
 
 std::string Dispatcher::StatsLine() const {
@@ -415,12 +430,12 @@ std::string Dispatcher::HealthLine(double now_seconds) const {
 }
 
 void Dispatcher::RecordRoutingLatency(double seconds) {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   latency_.Add(seconds);
 }
 
 ServingCounters Dispatcher::Snapshot() const {
-  std::lock_guard<std::mutex> guard(lock_);
+  MutexLock guard(lock_);
   ServingCounters out = counters_;
   out.pending.resize(num_backends_);
   out.alive.resize(num_backends_);

@@ -18,13 +18,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cluster/scheduler.h"
-#include "cluster/stats.h"
+#include "common/annotations.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "net/token_bucket.h"
 
@@ -90,14 +90,15 @@ class Dispatcher {
   /// Parses and executes one request line. \p now_seconds is monotonic
   /// time with a caller-chosen origin (used for admission-control refill
   /// and uptime reporting).
-  Reply Execute(std::string_view request, double now_seconds);
+  Reply Execute(std::string_view request, double now_seconds)
+      QCAP_EXCLUDES(lock_);
 
   /// Adds one routing-latency sample (seconds) to the percentile
   /// accumulator feeding METRICS.
-  void RecordRoutingLatency(double seconds);
+  void RecordRoutingLatency(double seconds) QCAP_EXCLUDES(lock_);
 
   /// Counter snapshot under the routing lock.
-  ServingCounters Snapshot() const;
+  ServingCounters Snapshot() const QCAP_EXCLUDES(lock_);
 
   /// Atomically replaces the routing table (the serving half of the
   /// adaptive control loop's migration cut-over). Builds the new scheduler
@@ -113,58 +114,65 @@ class Dispatcher {
   ///    classes start with a full bucket;
   ///  - the routing generation is bumped (METRICS: qcap_routing_generation).
   /// Thread-safe: callers may swap while the poll loop executes traffic.
-  Status SwapRouting(const Classification& cls, const Allocation& alloc);
+  Status SwapRouting(const Classification& cls, const Allocation& alloc)
+      QCAP_EXCLUDES(lock_);
 
   /// Handler behind the RELOAD wire verb: maps the verb's tag argument to
   /// a replacement routing table (e.g. by re-running the allocator).
   /// Without a provider, RELOAD answers ERR NO_PROVIDER.
   using ReloadProvider =
       std::function<Result<RoutingTable>(std::string_view tag)>;
-  void SetReloadProvider(ReloadProvider provider);
+  void SetReloadProvider(ReloadProvider provider) QCAP_EXCLUDES(lock_);
 
   /// Current routing-table generation (1 until the first swap).
-  uint64_t routing_generation() const;
+  uint64_t routing_generation() const QCAP_EXCLUDES(lock_);
 
-  size_t num_backends() const { return num_backends_; }
-  size_t num_read_classes() const { return num_reads_; }
-  size_t num_update_classes() const { return num_updates_; }
+  /// Routing-table shape. A SwapRouting can change all three, so the
+  /// reads take the routing lock (they are observability calls, not
+  /// hot-path ones).
+  size_t num_backends() const QCAP_EXCLUDES(lock_);
+  size_t num_read_classes() const QCAP_EXCLUDES(lock_);
+  size_t num_update_classes() const QCAP_EXCLUDES(lock_);
 
  private:
   Dispatcher(Scheduler scheduler, size_t num_backends, size_t num_reads,
              size_t num_updates, const ServingLimits& limits);
 
   // Verb handlers; all run under lock_.
-  Reply Submit(const std::vector<std::string>& args, double now_seconds);
-  Reply Done(const std::vector<std::string>& args);
-  Reply Fault(const std::vector<std::string>& args);
-  Reply Reload(const std::vector<std::string>& args);
-  std::string StatsLine() const;
-  std::string MetricsText(double now_seconds);
-  std::string HealthLine(double now_seconds) const;
+  Reply Submit(const std::vector<std::string>& args, double now_seconds)
+      QCAP_REQUIRES(lock_);
+  Reply Done(const std::vector<std::string>& args) QCAP_REQUIRES(lock_);
+  Reply Fault(const std::vector<std::string>& args) QCAP_REQUIRES(lock_);
+  Reply Reload(const std::vector<std::string>& args) QCAP_REQUIRES(lock_);
+  std::string StatsLine() const QCAP_REQUIRES(lock_);
+  std::string MetricsText(double now_seconds) QCAP_REQUIRES(lock_);
+  std::string HealthLine(double now_seconds) const QCAP_REQUIRES(lock_);
   /// SwapRouting's body; runs under lock_.
-  Status SwapRoutingLocked(const Classification& cls, const Allocation& alloc);
+  Status SwapRoutingLocked(const Classification& cls, const Allocation& alloc)
+      QCAP_REQUIRES(lock_);
 
-  mutable std::mutex lock_;  ///< The single routing lock.
-  Scheduler scheduler_;
-  size_t num_backends_;
-  size_t num_reads_;
-  size_t num_updates_;
-  ServingLimits limits_;  ///< Kept so a swap can build buckets for new classes.
+  mutable Mutex lock_;  ///< The single routing lock.
+  Scheduler scheduler_ QCAP_GUARDED_BY(lock_);
+  size_t num_backends_ QCAP_GUARDED_BY(lock_);
+  size_t num_reads_ QCAP_GUARDED_BY(lock_);
+  size_t num_updates_ QCAP_GUARDED_BY(lock_);
+  /// Immutable after construction (a swap re-reads, never re-writes it).
+  ServingLimits limits_;
   /// Per-backend outstanding request depth; a crashed backend's slot holds
   /// PendingIndex::kDeadKey so it loses every least-pending comparison.
-  std::vector<size_t> pending_;
-  std::vector<bool> alive_;
+  std::vector<size_t> pending_ QCAP_GUARDED_BY(lock_);
+  std::vector<bool> alive_ QCAP_GUARDED_BY(lock_);
   /// Per-backend straggler factor (FAULT DEGRADE); informational — routing
   /// stays least-pending-first, mirroring the simulator, where degrade
   /// slows service times but never changes dispatch policy.
-  std::vector<double> degrade_;
+  std::vector<double> degrade_ QCAP_GUARDED_BY(lock_);
   /// One bucket per class (reads then updates); empty = admission off.
-  std::vector<TokenBucket> buckets_;
-  ReloadProvider reload_provider_;
-  ServingCounters counters_;
+  std::vector<TokenBucket> buckets_ QCAP_GUARDED_BY(lock_);
+  ReloadProvider reload_provider_ QCAP_GUARDED_BY(lock_);
+  ServingCounters counters_ QCAP_GUARDED_BY(lock_);
   /// Routing-latency samples; shares SimStats' percentile machinery.
-  ResponseAccumulator latency_;
-  std::vector<double> percentile_scratch_;
+  ResponseAccumulator latency_ QCAP_GUARDED_BY(lock_);
+  std::vector<double> percentile_scratch_ QCAP_GUARDED_BY(lock_);
 };
 
 }  // namespace qcap::net

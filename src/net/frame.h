@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "net/socket.h"
 
@@ -58,9 +59,16 @@ class FrameDecoder {
   size_t max_payload_bytes() const { return max_payload_; }
 
  private:
+  // One decoder per session, driven exclusively by the server's poll
+  // thread (audited for the lock-discipline pass: no cross-thread access,
+  // so the state is confined rather than guarded).
+  QCAP_THREAD_CONFINED("owning session's poll thread")
   size_t max_payload_;
+  QCAP_THREAD_CONFINED("owning session's poll thread")
   std::string buffer_;
+  QCAP_THREAD_CONFINED("owning session's poll thread")
   size_t consumed_ = 0;  // prefix of buffer_ already handed out as frames
+  QCAP_THREAD_CONFINED("owning session's poll thread")
   bool poisoned_ = false;
 };
 

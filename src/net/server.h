@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "net/dispatcher.h"
 #include "net/frame.h"
@@ -116,8 +117,14 @@ class QueryRoutingServer {
   std::atomic<uint64_t> sessions_accepted_{0};
   std::atomic<size_t> open_sessions_{0};
   int wake_pipe_[2] = {-1, -1};  ///< Stop() writes a byte to wake poll().
+  /// Session table: written only by the IO thread inside Loop();
+  /// Start()/Stop() touch it only before the thread starts / after it
+  /// joins, so no lock is needed.
+  QCAP_THREAD_CONFINED("io_thread_")
   std::vector<std::unique_ptr<Session>> sessions_;
-  /// steady_clock origin captured by Start (epoch nanoseconds).
+  /// steady_clock origin captured by Start (epoch nanoseconds); written
+  /// once before io_thread_ spawns, read-only afterwards.
+  QCAP_THREAD_CONFINED("io_thread_")
   int64_t start_ns_ = 0;
 };
 

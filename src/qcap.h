@@ -4,6 +4,7 @@
 //
 // Typical flow:
 //   engine::Catalog  – describe the schema          (engine/catalog.h)
+//   CostModel / CostEstimator – price query classes (exec/*.h)
 //   QueryJournal     – record the query history     (workload/journal.h)
 //   SqlParser        – build queries from SQL text  (workload/sql_parser.h)
 //   Classifier       – queries -> weighted classes  (workload/classifier.h)
@@ -15,15 +16,13 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 
 #include "engine/catalog.h"
-#include "engine/cost_estimator.h"
-#include "engine/cost_model.h"
 #include "engine/datagen.h"
-#include "engine/executor.h"
 #include "engine/schema_io.h"
 #include "engine/table.h"
 #include "engine/types.h"
@@ -60,6 +59,10 @@
 #include "physical/etl_cost.h"
 #include "physical/physical_allocator.h"
 #include "physical/scaling.h"
+
+#include "exec/cost_estimator.h"
+#include "exec/cost_model.h"
+#include "exec/executor.h"
 
 #include "cluster/backend_node.h"
 #include "cluster/controller.h"

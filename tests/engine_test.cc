@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/datagen.h"
-#include "engine/executor.h"
+#include "exec/executor.h"
 #include "engine/table.h"
 #include "workloads/tpch.h"
 

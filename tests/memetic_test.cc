@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "alloc/greedy.h"
-#include "cluster/stats.h"
+#include "common/stats.h"
 #include "common/thread_pool.h"
 #include "model/metrics.h"
 #include "model/validation.h"

@@ -5,6 +5,7 @@
 // no sample-vector underflow, no NaN propagation into the double→size_t
 // cast, no division by a zero performance share.
 #include "cluster/stats.h"
+#include "common/stats.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,120 @@
+// Pins the committed .qcap-layers to the real include graph:
+//
+//   1. every actual cross-module include edge is declared (no layering
+//      violations slip in),
+//   2. every declared edge is exercised by at least one include (no stale
+//      declarations rot in the config), and
+//   3. both the declared and the actual graphs are DAGs.
+//
+// QCAP_LINT_SOURCE_ROOT points at the repo root at build time.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "project.h"
+
+namespace qcap_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string SourceRoot() { return QCAP_LINT_SOURCE_ROOT; }
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Same file universe the qcap_lint_tree ctest lints: src/ and tests/.
+std::vector<ProjectFile> LoadTree() {
+  std::vector<ProjectFile> files;
+  for (const char* top : {"src", "tests"}) {
+    const fs::path root = fs::path(SourceRoot()) / top;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      // Store repo-relative paths so ModuleOf sees "src/..." / "tests/...".
+      const std::string rel =
+          fs::relative(entry.path(), SourceRoot()).generic_string();
+      files.push_back({rel, ReadFile(entry.path())});
+    }
+  }
+  EXPECT_GT(files.size(), 50u) << "tree scan looks wrong";
+  return files;
+}
+
+LayerConfig LoadConfig() {
+  const fs::path p = fs::path(SourceRoot()) / ".qcap-layers";
+  EXPECT_TRUE(fs::is_regular_file(p)) << ".qcap-layers missing at repo root";
+  LayerConfig config = ParseLayerConfig(p.string(), ReadFile(p));
+  EXPECT_TRUE(config.errors.empty()) << config.errors.front().message;
+  return config;
+}
+
+using EdgeSet = std::set<std::pair<std::string, std::string>>;
+
+EdgeSet ActualEdges(const std::vector<ProjectFile>& files) {
+  EdgeSet actual;
+  for (const IncludeEdge& e : ModuleEdges(files)) {
+    actual.insert({e.from, e.to});
+  }
+  return actual;
+}
+
+TEST(QcapLayers, EveryActualEdgeIsDeclared) {
+  const LayerConfig config = LoadConfig();
+  for (const IncludeEdge& e : ModuleEdges(LoadTree())) {
+    auto it = config.deps.find(e.from);
+    ASSERT_TRUE(it != config.deps.end())
+        << "module '" << e.from << "' (" << e.file
+        << ") is not declared in .qcap-layers";
+    EXPECT_TRUE(it->second.count(e.to))
+        << e.file << ":" << e.line << ": undeclared edge " << e.from
+        << " -> " << e.to << " (#include \"" << e.include_path << "\")";
+  }
+}
+
+TEST(QcapLayers, NoStaleDeclaredEdges) {
+  const LayerConfig config = LoadConfig();
+  const EdgeSet actual = ActualEdges(LoadTree());
+  for (const auto& [module, deps] : config.deps) {
+    for (const std::string& dep : deps) {
+      EXPECT_TRUE(actual.count({module, dep}))
+          << ".qcap-layers declares " << module << " -> " << dep
+          << " but no include creates that edge; prune the stale entry";
+    }
+  }
+}
+
+TEST(QcapLayers, DeclaredGraphIsADag) {
+  // A cycle in the declared graph is a layer-violation finding against the
+  // config file itself; an empty project isolates that check.
+  const ProjectResult r = LintProject({}, LoadConfig());
+  for (const Finding& f : r.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": " << f.message;
+  }
+}
+
+TEST(QcapLayers, TreeHasNoLayerFindings) {
+  const LayerConfig config = LoadConfig();
+  const ProjectResult r = LintProject(LoadTree(), config);
+  for (const Finding& f : r.findings) {
+    if (f.rule == "layer-violation") {
+      ADD_FAILURE() << f.file << ":" << f.line << ": " << f.message;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qcap_lint

@@ -571,13 +571,10 @@ bool IsKnownRule(const std::string& rule) {
   return false;
 }
 
-FileResult LintContent(const std::string& path, const std::string& content) {
-  const std::vector<Token> tokens = Lex(content);
-  const Directives directives = ParseDirectives(path, tokens);
+namespace {
 
-  std::vector<Finding> raw;
-  Scanner(path, tokens, directives, &raw).Run();
-
+// Splits raw findings into (kept, suppressed) per the file's directives.
+FileResult Filter(const Directives& directives, std::vector<Finding> raw) {
   FileResult result;
   for (Finding& f : raw) {
     bool allowed = directives.file_allows.count(f.rule) > 0;
@@ -591,12 +588,58 @@ FileResult LintContent(const std::string& path, const std::string& content) {
     }
     (allowed ? result.suppressed : result.findings).push_back(std::move(f));
   }
+  return result;
+}
+
+}  // namespace
+
+FileResult LintContent(const std::string& path, const std::string& content) {
+  const std::vector<Token> tokens = Lex(content);
+  const Directives directives = ParseDirectives(path, tokens);
+
+  std::vector<Finding> raw;
+  Scanner(path, tokens, directives, &raw).Run();
+
+  FileResult result = Filter(directives, std::move(raw));
   for (const Finding& e : directives.errors) result.findings.push_back(e);
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line != b.line ? a.line < b.line : a.rule < b.rule;
             });
   return result;
+}
+
+FileResult ApplySuppressions(const std::string& path,
+                             const std::string& content,
+                             std::vector<Finding> raw) {
+  const std::vector<Token> tokens = Lex(content);
+  return Filter(ParseDirectives(path, tokens), std::move(raw));
+}
+
+std::string JsonEscape(const std::string& s) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace qcap_lint

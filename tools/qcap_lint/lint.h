@@ -19,6 +19,11 @@ inline constexpr const char* kAllRules[] = {
     "using-namespace-header",  // using namespace at header scope
     "mutable-global",          // mutable namespace-scope variable
     "bad-directive",           // malformed or reasonless qcap-lint comment
+    // Cross-TU rules (project.h); they need the whole tree, so LintContent
+    // alone never produces them.
+    "guarded-field-unlocked-access",  // GUARDED_BY field touched lock-free
+    "lock-order",                     // cycle in the lock acquisition graph
+    "layer-violation",                // include edge not in .qcap-layers
 };
 
 struct Finding {
@@ -40,5 +45,17 @@ FileResult LintContent(const std::string& path, const std::string& content);
 
 /// True if `rule` is a known rule id.
 bool IsKnownRule(const std::string& rule);
+
+/// Routes findings produced outside LintContent (the cross-TU pass) through
+/// a file's suppression directives: allow-file(rule) and line allow(rule)
+/// comments apply exactly as they do to per-file findings. Does NOT re-emit
+/// directive-syntax errors (LintContent already reports those once).
+FileResult ApplySuppressions(const std::string& path,
+                             const std::string& content,
+                             std::vector<Finding> raw);
+
+/// Escapes a string for embedding in a JSON string literal: quote,
+/// backslash, and every control character (U+0000..U+001F) per RFC 8259.
+std::string JsonEscape(const std::string& s);
 
 }  // namespace qcap_lint

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "lint.h"
+#include "project.h"
 
 namespace qcap_lint {
 namespace {
@@ -51,18 +52,24 @@ void CollectFiles(const fs::path& root, std::vector<std::string>* out) {
   }
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
+// Finds the `.qcap-layers` module DAG governing the linted roots by walking
+// up from the first root (so `qcap_lint src tests` run from the repo root —
+// or `qcap_lint /abs/repo/src` from anywhere — finds the repo's config).
+// Returns an unloaded config when none exists, which disables layer checks.
+LayerConfig FindLayerConfig(const std::vector<std::string>& roots) {
+  fs::path dir = fs::absolute(roots.front());
+  if (fs::is_regular_file(dir)) dir = dir.parent_path();
+  for (; !dir.empty(); dir = dir.parent_path()) {
+    const fs::path candidate = dir / ".qcap-layers";
+    if (fs::is_regular_file(candidate)) {
+      std::ifstream in(candidate, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      return ParseLayerConfig(candidate.string(), buf.str());
     }
+    if (dir == dir.root_path()) break;
   }
-  return out;
+  return LayerConfig{};
 }
 
 int Run(int argc, char** argv) {
@@ -109,8 +116,8 @@ int Run(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
-  size_t suppressed = 0;
+  std::vector<ProjectFile> project;
+  project.reserve(files.size());
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -119,10 +126,24 @@ int Run(int argc, char** argv) {
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    FileResult result = LintContent(file, buf.str());
+    project.push_back({file, buf.str()});
+  }
+
+  std::vector<Finding> findings;
+  size_t suppressed = 0;
+  for (const ProjectFile& file : project) {
+    FileResult result = LintContent(file.path, file.content);
     suppressed += result.suppressed.size();
     for (Finding& f : result.findings) findings.push_back(std::move(f));
   }
+  ProjectResult cross = LintProject(project, FindLayerConfig(roots));
+  suppressed += cross.suppressed.size();
+  for (Finding& f : cross.findings) findings.push_back(std::move(f));
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
 
   if (format == "json") {
     std::cout << "{\n  \"findings\": [";

@@ -1,0 +1,791 @@
+#include "project.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "token.h"
+
+namespace qcap_lint {
+
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// Symbol table: what the annotations in headers declare
+// ---------------------------------------------------------------------------
+
+struct ClassInfo {
+  std::set<std::string> mutexes;                       // mutex-typed members
+  std::map<std::string, std::string> guarded;          // field -> mutex
+  std::map<std::string, std::set<std::string>> holds;  // method -> REQUIRES
+};
+
+// Classes are keyed by bare name; the codebase has no cross-namespace
+// class-name collisions among annotated types, and a collision would only
+// widen (never silence) the checks.
+using SymbolTable = std::map<std::string, ClassInfo>;
+
+// Strips comments; keeps everything else in order.
+std::vector<Token> CodeTokens(const std::vector<Token>& all) {
+  std::vector<Token> code;
+  for (const Token& t : all) {
+    if (t.kind != TokenKind::kComment) code.push_back(t);
+  }
+  return code;
+}
+
+// Skips a balanced (...) starting at the '(' at index i; returns the index
+// one past the matching ')'. Returns code.size() when unbalanced.
+size_t SkipParens(const std::vector<Token>& code, size_t i) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (IsPunct(code[i], "(")) ++depth;
+    else if (IsPunct(code[i], ")") && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+// Joins the tokens of a parenthesized argument at paren depth 1 into a
+// normalized expression string: "this ->" prefixes are dropped so a held
+// "this->mu_" and a field guarded by "mu_" compare equal.
+std::string JoinExpr(const std::vector<Token>& code, size_t begin,
+                     size_t end) {
+  std::string out;
+  size_t i = begin;
+  if (i + 1 < end && code[i].text == "this" && IsPunct(code[i + 1], "->")) {
+    i += 2;
+  }
+  for (; i < end; ++i) out += code[i].text;
+  return out;
+}
+
+// Splits the argument tokens of a call `( ... )` (i at '(') into top-level
+// comma-separated argument expressions. Returns index past ')'.
+size_t SplitArgs(const std::vector<Token>& code, size_t i,
+                 std::vector<std::string>* args) {
+  const size_t past = SkipParens(code, i);
+  int depth = 0;
+  size_t arg_begin = i + 1;
+  for (size_t j = i; j < past; ++j) {
+    if (IsPunct(code[j], "(") || IsPunct(code[j], "<")) ++depth;
+    else if (IsPunct(code[j], ")") || IsPunct(code[j], ">")) --depth;
+    else if (IsPunct(code[j], ",") && depth == 1) {
+      if (j > arg_begin) args->push_back(JoinExpr(code, arg_begin, j));
+      arg_begin = j + 1;
+    }
+  }
+  if (past >= 1 && past - 1 > arg_begin) {
+    args->push_back(JoinExpr(code, arg_begin, past - 1));
+  }
+  return past;
+}
+
+// Shared class-scope tracker for both passes. Reports, at each token,
+// which class body (if any) the token is directly inside.
+class ClassTracker {
+ public:
+  // Feed every token in order; call before inspecting the token at i.
+  void Step(const std::vector<Token>& code, size_t i) {
+    const Token& t = code[i];
+    if (IsPunct(t, "{")) {
+      ++depth_;
+      if (pending_open_ && depth_ == pending_depth_ + 1) {
+        stack_.push_back({pending_name_, depth_});
+        pending_open_ = false;
+      }
+      return;
+    }
+    if (IsPunct(t, "}")) {
+      if (!stack_.empty() && depth_ == stack_.back().body_depth) {
+        stack_.pop_back();
+      }
+      --depth_;
+      return;
+    }
+    if (IsPunct(t, ";") && pending_open_ && depth_ == pending_depth_) {
+      pending_open_ = false;  // forward declaration
+      return;
+    }
+    if (!IsIdent(t)) return;
+    if ((t.text == "class" || t.text == "struct") &&
+        (i == 0 || code[i - 1].text != "enum")) {
+      // Name = first identifier after the keyword that is not an attribute
+      // macro call (e.g. `class QCAP_CAPABILITY("mutex") Mutex {`).
+      size_t j = i + 1;
+      while (j < code.size()) {
+        if (IsPunct(code[j], "{") || IsPunct(code[j], ";")) break;
+        if (IsIdent(code[j])) {
+          if (j + 1 < code.size() && IsPunct(code[j + 1], "(")) {
+            j = SkipParens(code, j + 1);
+            continue;
+          }
+          pending_name_ = code[j].text;
+          pending_open_ = true;
+          pending_depth_ = depth_;
+          break;
+        }
+        ++j;
+      }
+    }
+  }
+
+  // Class whose body directly contains the current scope, or "" if none.
+  std::string Current() const {
+    return stack_.empty() ? "" : stack_.back().name;
+  }
+  // True when the current token sits directly in the innermost class body
+  // (member-declaration scope, not inside a nested method body).
+  bool AtClassScope() const {
+    return !stack_.empty() && depth_ == stack_.back().body_depth;
+  }
+  int depth() const { return depth_; }
+
+ private:
+  struct Open {
+    std::string name;
+    int body_depth;  // depth inside the class body
+  };
+  std::vector<Open> stack_;
+  int depth_ = 0;
+  bool pending_open_ = false;
+  std::string pending_name_;
+  int pending_depth_ = 0;
+};
+
+void CollectSymbols(const std::vector<Token>& code, SymbolTable* table) {
+  ClassTracker classes;
+  for (size_t i = 0; i < code.size(); ++i) {
+    classes.Step(code, i);
+    const Token& t = code[i];
+    if (!IsIdent(t) || !classes.AtClassScope()) continue;
+    ClassInfo& info = (*table)[classes.Current()];
+
+    // Mutex members: `[mutable] [std::|qcap::] Mutex|mutex name_;`.
+    if ((t.text == "Mutex" || t.text == "mutex") && i + 2 < code.size() &&
+        IsIdent(code[i + 1]) &&
+        (IsPunct(code[i + 2], ";") || code[i + 2].text.rfind("QCAP_", 0) == 0)) {
+      info.mutexes.insert(code[i + 1].text);
+      continue;
+    }
+
+    // `Type field_ QCAP_GUARDED_BY(mu_) [= init];`
+    if (t.text == "QCAP_GUARDED_BY" && i > 0 && IsIdent(code[i - 1]) &&
+        i + 1 < code.size() && IsPunct(code[i + 1], "(")) {
+      std::vector<std::string> args;
+      SplitArgs(code, i + 1, &args);
+      if (args.size() == 1) info.guarded[code[i - 1].text] = args[0];
+      continue;
+    }
+
+    // `Ret Method(...) [const] QCAP_REQUIRES(mu_[, mu2_]);` — walk back
+    // over qualifiers and earlier QCAP_ macros to the parameter list, whose
+    // preceding identifier is the method name.
+    if (t.text == "QCAP_REQUIRES" && i + 1 < code.size() &&
+        IsPunct(code[i + 1], "(")) {
+      std::vector<std::string> args;
+      SplitArgs(code, i + 1, &args);
+      size_t j = i;
+      std::string method;
+      while (j > 0) {
+        --j;
+        if (IsIdent(code[j]) &&
+            (code[j].text == "const" || code[j].text == "noexcept" ||
+             code[j].text == "override" || code[j].text == "final")) {
+          continue;
+        }
+        if (IsPunct(code[j], ")")) {
+          int depth = 0;
+          while (j > 0) {
+            if (IsPunct(code[j], ")")) ++depth;
+            if (IsPunct(code[j], "(") && --depth == 0) break;
+            --j;
+          }
+          if (j > 0 && IsIdent(code[j - 1])) {
+            if (code[j - 1].text.rfind("QCAP_", 0) == 0) {
+              j -= 1;  // another annotation macro; keep walking back
+              continue;
+            }
+            method = code[j - 1].text;
+          }
+        }
+        break;
+      }
+      if (!method.empty()) {
+        info.holds[method].insert(args.begin(), args.end());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function-body pass: guarded accesses and the lock acquisition graph
+// ---------------------------------------------------------------------------
+
+struct LockEdge {
+  std::string from;  // qualified mutex, e.g. "Dispatcher::lock_"
+  std::string to;
+  std::string file;
+  int line = 0;
+};
+
+constexpr const char* kScopedLockTypes[] = {"MutexLock", "lock_guard",
+                                            "unique_lock", "scoped_lock"};
+
+bool IsScopedLockType(const std::string& name) {
+  for (const char* t : kScopedLockTypes) {
+    if (name == t) return true;
+  }
+  return false;
+}
+
+class BodyAnalyzer {
+ public:
+  BodyAnalyzer(const std::string& path, const std::vector<Token>& code,
+               const SymbolTable& symbols, std::vector<Finding>* findings,
+               std::vector<LockEdge>* edges)
+      : path_(path), code_(code), symbols_(symbols), findings_(findings),
+        edges_(edges) {}
+
+  void Run() {
+    for (size_t i = 0; i < code_.size(); ++i) {
+      classes_.Step(code_, i);
+      if (in_fn_) {
+        if (classes_.depth() < fn_body_depth_) {
+          in_fn_ = false;  // the body's closing brace just popped
+        } else {
+          // Scoped locks die with their enclosing block.
+          while (!scoped_.empty() &&
+                 scoped_.back().second > classes_.depth()) {
+            scoped_.pop_back();
+          }
+        }
+      }
+      if (in_fn_) {
+        i = Analyze(i);
+      } else {
+        i = MaybeEnterFunction(i);
+      }
+    }
+  }
+
+ private:
+  // Qualifies a member mutex name with its class for the global graph.
+  std::string Qualify(const std::string& mutex) const {
+    if (mutex.find('.') != std::string::npos ||
+        mutex.find(':') != std::string::npos || fn_class_.empty()) {
+      return mutex;
+    }
+    return fn_class_ + "::" + mutex;
+  }
+
+  std::vector<std::string> HeldNow() const {
+    std::vector<std::string> held(required_.begin(), required_.end());
+    for (const auto& [mu, depth] : scoped_) held.push_back(mu);
+    for (const std::string& mu : manual_) held.push_back(mu);
+    return held;
+  }
+
+  bool Holds(const std::string& mutex) const {
+    for (const std::string& held : HeldNow()) {
+      if (held == mutex) return true;
+    }
+    return false;
+  }
+
+  void Acquire(const std::string& mutex, int line) {
+    for (const std::string& held : HeldNow()) {
+      if (held != mutex) {
+        edges_->push_back({Qualify(held), Qualify(mutex), path_, line});
+      }
+    }
+  }
+
+  // Recognizes a function definition starting at token i and enters it.
+  // Returns the index to resume from.
+  size_t MaybeEnterFunction(size_t i) {
+    const Token& t = code_[i];
+    std::string cls;
+    std::string name;
+    size_t paren = 0;  // index of the parameter list's '('
+    bool dtor = false;
+
+    if (classes_.AtClassScope() && IsIdent(t) && i + 1 < code_.size() &&
+        IsPunct(code_[i + 1], "(") && t.text.rfind("QCAP_", 0) != 0) {
+      // Possible inline member function of the current class.
+      cls = classes_.Current();
+      name = t.text;
+      dtor = i > 0 && IsPunct(code_[i - 1], "~");
+      paren = i + 1;
+    } else if (!classes_.AtClassScope() && IsIdent(t) && i + 3 < code_.size() &&
+               IsPunct(code_[i + 1], "::")) {
+      // Possible out-of-line member: `Class :: [~] Name (`. Namespace
+      // braces keep depth > 0, so this matches anywhere outside a class
+      // body; a qualified CALL with this shape is rejected below because
+      // its statement ends in ';' before any body brace appears.
+      size_t j = i + 2;
+      if (IsPunct(code_[j], "~")) {
+        dtor = true;
+        ++j;
+      }
+      if (j + 1 < code_.size() && IsIdent(code_[j]) &&
+          IsPunct(code_[j + 1], "(")) {
+        cls = t.text;
+        name = code_[j].text;
+        paren = j + 1;
+      }
+    }
+    auto sym = paren == 0 ? symbols_.end() : symbols_.find(cls);
+    if (sym == symbols_.end()) return i;
+    // Only classes with lock annotations get body tracking; anything else
+    // (helper classes, std, enums) has nothing to check and skipping them
+    // avoids misreading qualified calls as definitions.
+    const ClassInfo& info = sym->second;
+    if (info.mutexes.empty() && info.guarded.empty() && info.holds.empty()) {
+      return i;
+    }
+
+    // Parameter list, then either a body `{`, a pure declaration `;`, or
+    // `= default/delete`. The scan tolerates member-initializer lists
+    // (their parens/braces are balanced sub-expressions).
+    size_t j = SkipParens(code_, paren);
+    int depth = 0;
+    for (; j < code_.size(); ++j) {
+      if (IsPunct(code_[j], "(")) ++depth;
+      else if (IsPunct(code_[j], ")")) --depth;
+      else if (depth == 0 && (IsPunct(code_[j], ";") || IsPunct(code_[j], "=")))
+        return i;  // declaration or defaulted — no body to analyze
+      else if (depth == 0 && IsPunct(code_[j], "{")) {
+        // A member-initializer brace-init (`: f_{...}`) also hits here;
+        // analyzing from it is harmless (same held-set, same class).
+        break;
+      }
+    }
+    if (j >= code_.size()) return i;
+
+    in_fn_ = true;
+    fn_class_ = cls;
+    fn_name_ = name;
+    fn_exempt_ = dtor || name == cls;  // ctors/dtors run single-threaded
+    fn_body_depth_ = classes_.depth() + 1;
+    scoped_.clear();
+    manual_.clear();
+    required_.clear();
+    auto it = info.holds.find(name);
+    if (it != info.holds.end()) required_ = it->second;
+    return j - 1;  // let the main loop process the '{'
+  }
+
+  // Analyzes the token at i inside a function body; returns resume index.
+  size_t Analyze(size_t i) {
+    const Token& t = code_[i];
+    if (!IsIdent(t)) return i;
+    const ClassInfo& info = symbols_.at(fn_class_);
+
+    // Scoped lock declaration: `Type[<...>] var(mu_ [, ...]);`
+    if (IsScopedLockType(t.text)) {
+      size_t j = i + 1;
+      if (j < code_.size() && IsPunct(code_[j], "<")) {
+        int depth = 0;
+        for (; j < code_.size(); ++j) {
+          if (IsPunct(code_[j], "<")) ++depth;
+          else if (IsPunct(code_[j], ">") && --depth == 0) { ++j; break; }
+        }
+      }
+      if (j + 1 < code_.size() && IsIdent(code_[j]) &&
+          IsPunct(code_[j + 1], "(")) {
+        std::vector<std::string> args;
+        const size_t past = SplitArgs(code_, j + 1, &args);
+        bool defer = false;
+        for (const std::string& a : args) {
+          if (a == "std::defer_lock" || a == "defer_lock" ||
+              a == "std::try_to_lock" || a == "try_to_lock") {
+            defer = true;
+          }
+        }
+        if (!defer) {
+          for (const std::string& a : args) {
+            if (a == "std::adopt_lock" || a == "adopt_lock") continue;
+            Acquire(a, t.line);
+            scoped_.push_back({a, classes_.depth()});
+          }
+        }
+        return past - 1;
+      }
+      return i;
+    }
+
+    // Manual mu_.lock() / mu_.unlock().
+    if ((t.text == "lock" || t.text == "unlock") && i >= 2 &&
+        IsPunct(code_[i - 1], ".") && IsIdent(code_[i - 2]) &&
+        i + 2 < code_.size() && IsPunct(code_[i + 1], "(") &&
+        IsPunct(code_[i + 2], ")")) {
+      const std::string mu = code_[i - 2].text;
+      if (t.text == "lock") {
+        Acquire(mu, t.line);
+        manual_.insert(mu);
+      } else {
+        manual_.erase(mu);
+      }
+      return i + 2;
+    }
+
+    // Guarded-field access.
+    auto guarded = info.guarded.find(t.text);
+    if (guarded != info.guarded.end() && !fn_exempt_) {
+      const bool qualified =
+          i > 0 && (IsPunct(code_[i - 1], ".") || IsPunct(code_[i - 1], "->") ||
+                    IsPunct(code_[i - 1], "::"));
+      const bool via_this = i >= 2 && IsPunct(code_[i - 1], "->") &&
+                            code_[i - 2].text == "this";
+      if ((!qualified || via_this) && !Holds(guarded->second)) {
+        findings_->push_back(
+            {path_, t.line, "guarded-field-unlocked-access",
+             "field '" + t.text + "' is guarded by '" + guarded->second +
+                 "' (" + fn_class_ + ") but " + fn_class_ + "::" + fn_name_ +
+                 " touches it without holding the lock; take the lock or "
+                 "annotate the function QCAP_REQUIRES(" + guarded->second +
+                 ")"});
+      }
+    }
+    return i;
+  }
+
+  const std::string path_;
+  const std::vector<Token>& code_;
+  const SymbolTable& symbols_;
+  std::vector<Finding>* findings_;
+  std::vector<LockEdge>* edges_;
+
+  ClassTracker classes_;
+  bool in_fn_ = false;
+  std::string fn_class_;
+  std::string fn_name_;
+  bool fn_exempt_ = false;
+  int fn_body_depth_ = 0;
+  std::vector<std::pair<std::string, int>> scoped_;  // (mutex, decl depth)
+  std::set<std::string> manual_;
+  std::set<std::string> required_;
+};
+
+// Reports each distinct lock-order cycle once, anchored at the edge that
+// closes it (deterministically: edges are visited in sorted order).
+void FindLockOrderCycles(std::vector<LockEdge> edges,
+                         std::map<std::string, std::vector<Finding>>* by_file) {
+  std::sort(edges.begin(), edges.end(),
+            [](const LockEdge& a, const LockEdge& b) {
+              return std::tie(a.from, a.to, a.file, a.line) <
+                     std::tie(b.from, b.to, b.file, b.line);
+            });
+  std::map<std::string, std::vector<const LockEdge*>> graph;
+  for (const LockEdge& e : edges) graph[e.from].push_back(&e);
+
+  std::set<std::string> reported;  // canonical cycle signatures
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        path.push_back(node);
+        on_path.insert(node);
+        for (const LockEdge* e : graph[node]) {
+          if (on_path.count(e->to)) {
+            // Cycle: the path suffix from e->to plus this edge.
+            std::vector<std::string> cycle;
+            bool in = false;
+            for (const std::string& n : path) {
+              if (n == e->to) in = true;
+              if (in) cycle.push_back(n);
+            }
+            std::vector<std::string> canon = cycle;
+            std::sort(canon.begin(), canon.end());
+            std::string sig;
+            for (const std::string& n : canon) sig += n + "|";
+            if (reported.insert(sig).second) {
+              std::string chain;
+              for (const std::string& n : cycle) chain += n + " -> ";
+              chain += e->to;
+              (*by_file)[e->file].push_back(
+                  {e->file, e->line, "lock-order",
+                   "lock acquisition order cycle: " + chain +
+                       " (this acquisition closes the cycle; pick one global "
+                       "order and take the locks in it everywhere)"});
+            }
+            continue;
+          }
+          if (on_path.count(e->to) == 0) visit(e->to);
+        }
+        on_path.erase(node);
+        path.pop_back();
+      };
+  std::set<std::string> roots;
+  for (const LockEdge& e : edges) roots.insert(e.from);
+  for (const std::string& r : roots) visit(r);
+}
+
+// ---------------------------------------------------------------------------
+// Module layering
+// ---------------------------------------------------------------------------
+
+// Detects a cycle in a module dependency graph; returns the cycle as
+// "a -> b -> a", or "" if the graph is a DAG.
+std::string FindModuleCycle(
+    const std::map<std::string, std::set<std::string>>& graph) {
+  std::set<std::string> done;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  std::string cycle;
+  std::function<void(const std::string&)> visit = [&](const std::string& n) {
+    if (!cycle.empty() || done.count(n)) return;
+    if (on_path.count(n)) {
+      bool in = false;
+      for (const std::string& p : path) {
+        if (p == n) in = true;
+        if (in) cycle += p + " -> ";
+      }
+      cycle += n;
+      return;
+    }
+    on_path.insert(n);
+    path.push_back(n);
+    auto it = graph.find(n);
+    if (it != graph.end()) {
+      for (const std::string& m : it->second) visit(m);
+    }
+    path.pop_back();
+    on_path.erase(n);
+    done.insert(n);
+  };
+  for (const auto& [n, deps] : graph) visit(n);
+  return cycle;
+}
+
+void CheckLayers(const std::vector<ProjectFile>& files,
+                 const LayerConfig& layers,
+                 std::map<std::string, std::vector<Finding>>* by_file,
+                 std::vector<Finding>* config_findings) {
+  for (const Finding& e : layers.errors) config_findings->push_back(e);
+
+  const std::string declared_cycle = FindModuleCycle(layers.deps);
+  if (!declared_cycle.empty()) {
+    config_findings->push_back(
+        {layers.path, 1, "layer-violation",
+         ".qcap-layers declares a dependency cycle: " + declared_cycle +
+             "; the module graph must be a DAG"});
+  }
+
+  std::map<std::string, std::set<std::string>> actual;
+  std::map<std::string, const IncludeEdge*> first_edge;  // "a>b" -> edge
+  const std::vector<IncludeEdge> edges = ModuleEdges(files);
+  for (const IncludeEdge& e : edges) {
+    actual[e.from].insert(e.to);
+    first_edge.emplace(e.from + ">" + e.to, &e);
+
+    auto from = layers.deps.find(e.from);
+    if (from == layers.deps.end()) {
+      (*by_file)[e.file].push_back(
+          {e.file, e.line, "layer-violation",
+           "module '" + e.from + "' is not declared in " + layers.path +
+               "; add it to the layering DAG (docs/LINT.md)"});
+      continue;
+    }
+    if (layers.deps.count(e.to) == 0) {
+      (*by_file)[e.file].push_back(
+          {e.file, e.line, "layer-violation",
+           "#include \"" + e.include_path + "\" pulls in module '" + e.to +
+               "', which is not declared in " + layers.path});
+      continue;
+    }
+    if (from->second.count(e.to) == 0) {
+      (*by_file)[e.file].push_back(
+          {e.file, e.line, "layer-violation",
+           "#include \"" + e.include_path + "\" creates a '" + e.from +
+               "' -> '" + e.to + "' edge that " + layers.path +
+               " does not allow"});
+    }
+  }
+
+  const std::string actual_cycle = FindModuleCycle(actual);
+  if (!actual_cycle.empty()) {
+    // Anchor the report at the include that creates the cycle's first edge.
+    const std::string a = actual_cycle.substr(0, actual_cycle.find(" ->"));
+    for (const auto& [key, e] : first_edge) {
+      if (key.rfind(a + ">", 0) == 0 &&
+          actual_cycle.find("-> " + key.substr(a.size() + 1)) !=
+              std::string::npos) {
+        (*by_file)[e->file].push_back(
+            {e->file, e->line, "layer-violation",
+             "module include cycle: " + actual_cycle +
+                 " (this include contributes the first edge)"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+LayerConfig ParseLayerConfig(const std::string& path,
+                             const std::string& content) {
+  LayerConfig config;
+  config.loaded = true;
+  config.path = path;
+  int lineno = 0;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    // Trim.
+    const size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      config.errors.push_back(
+          {path, lineno, "bad-directive",
+           "malformed .qcap-layers line (expected '<module>: <dep>...'): '" +
+               line + "'"});
+      continue;
+    }
+    const std::string module = line.substr(0, colon);
+    if (module.find(' ') != std::string::npos) {
+      config.errors.push_back({path, lineno, "bad-directive",
+                               "malformed .qcap-layers module name '" +
+                                   module + "'"});
+      continue;
+    }
+    std::set<std::string>& deps = config.deps[module];
+    size_t i = colon + 1;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+      if (i > start) deps.insert(line.substr(start, i - start));
+    }
+  }
+  return config;
+}
+
+std::string ModuleOf(const std::string& path) {
+  auto component_after = [&](const std::string& root) -> size_t {
+    if (path.rfind(root, 0) == 0) return root.size();
+    const size_t p = path.find("/" + root);
+    return p == std::string::npos ? std::string::npos : p + 1 + root.size();
+  };
+  size_t after = component_after("src/");
+  if (after != std::string::npos) {
+    const size_t slash = path.find('/', after);
+    if (slash == std::string::npos) return "qcap";  // file directly in src/
+    return path.substr(after, slash - after);
+  }
+  if (component_after("tests/") != std::string::npos) return "tests";
+  return "";
+}
+
+std::string IncludedModule(const std::string& include_path) {
+  const size_t slash = include_path.find('/');
+  if (slash == std::string::npos) return "qcap";
+  return include_path.substr(0, slash);
+}
+
+std::vector<IncludeEdge> ModuleEdges(const std::vector<ProjectFile>& files) {
+  // Quoted includes resolve relative to the including file first (C++
+  // semantics), then against src/. The file universe stands in for the
+  // filesystem so the pass stays pure.
+  std::set<std::string> universe;
+  for (const ProjectFile& file : files) universe.insert(file.path);
+
+  std::vector<IncludeEdge> edges;
+  for (const ProjectFile& file : files) {
+    const std::string from = ModuleOf(file.path);
+    if (from.empty()) continue;
+    const size_t last_slash = file.path.rfind('/');
+    const std::string dir =
+        last_slash == std::string::npos ? "" : file.path.substr(0, last_slash + 1);
+    for (const Token& t : Lex(file.content)) {
+      if (t.kind != TokenKind::kPreprocessor) continue;
+      if (t.text.find("#include") != 0 &&
+          t.text.find("# include") != 0) {
+        continue;
+      }
+      const size_t open = t.text.find('"');
+      if (open == std::string::npos) continue;  // <...> system include
+      const size_t close = t.text.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      const std::string inc = t.text.substr(open + 1, close - open - 1);
+      std::string to;
+      if (universe.count(dir + inc)) {
+        to = ModuleOf(dir + inc);  // sibling include, e.g. "test_util.h"
+      } else {
+        to = IncludedModule(inc);
+      }
+      if (to.empty() || to == from) continue;
+      edges.push_back({from, to, file.path, t.line, inc});
+    }
+  }
+  return edges;
+}
+
+ProjectResult LintProject(const std::vector<ProjectFile>& files,
+                          const LayerConfig& layers) {
+  SymbolTable symbols;
+  std::vector<std::pair<const ProjectFile*, std::vector<Token>>> lexed;
+  lexed.reserve(files.size());
+  for (const ProjectFile& file : files) {
+    lexed.emplace_back(&file, CodeTokens(Lex(file.content)));
+    CollectSymbols(lexed.back().second, &symbols);
+  }
+
+  std::map<std::string, std::vector<Finding>> by_file;
+  std::vector<LockEdge> edges;
+  for (const auto& [file, code] : lexed) {
+    BodyAnalyzer(file->path, code, symbols, &by_file[file->path], &edges)
+        .Run();
+  }
+  FindLockOrderCycles(std::move(edges), &by_file);
+
+  ProjectResult result;
+  if (layers.loaded) {
+    CheckLayers(files, layers, &by_file, &result.findings);
+  }
+
+  for (const ProjectFile& file : files) {
+    auto it = by_file.find(file.path);
+    if (it == by_file.end() || it->second.empty()) continue;
+    FileResult filtered =
+        ApplySuppressions(file.path, file.content, std::move(it->second));
+    for (Finding& f : filtered.findings) {
+      result.findings.push_back(std::move(f));
+    }
+    for (Finding& f : filtered.suppressed) {
+      result.suppressed.push_back(std::move(f));
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return result;
+}
+
+}  // namespace qcap_lint

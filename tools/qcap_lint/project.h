@@ -1,0 +1,81 @@
+// Project-level (cross-TU) analysis: the lock-discipline rules
+// (guarded-field-unlocked-access, lock-order) and the module layering
+// rule (layer-violation).
+//
+// Unlike lint.h's LintContent, which sees one file at a time, the passes
+// here need the whole tree: GUARDED_BY/REQUIRES annotations live on the
+// declarations in headers while the accesses live in .cc bodies, the lock
+// acquisition graph only cycles across functions, and an include edge is
+// only judgeable against the committed module DAG (.qcap-layers).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace qcap_lint {
+
+/// One source file handed to the project pass.
+struct ProjectFile {
+  std::string path;
+  std::string content;
+};
+
+/// Parsed `.qcap-layers` module DAG: `<module>: <dep> <dep>...` per line,
+/// `#` comments. Every module that appears in the tree must be declared;
+/// an include edge is legal only if listed.
+struct LayerConfig {
+  bool loaded = false;
+  std::string path;  ///< Where the config was found (diagnostics).
+  /// module -> modules it may include. A declared module with no deps has
+  /// an entry with an empty set.
+  std::map<std::string, std::set<std::string>> deps;
+  /// Malformed-line findings (rule bad-directive) against `path`.
+  std::vector<Finding> errors;
+};
+
+/// Parses a `.qcap-layers` file. Never fails hard: malformed lines become
+/// findings in the returned config's `errors`.
+LayerConfig ParseLayerConfig(const std::string& path,
+                             const std::string& content);
+
+/// Maps a file path to its layering module: the path component after
+/// `src/` ("src/alloc/memetic.cc" -> "alloc"), "qcap" for files directly
+/// under src/ ("src/qcap.h"), "tests" for anything under tests/, and ""
+/// (exempt from layer checks) for everything else.
+std::string ModuleOf(const std::string& path);
+
+/// Module a quoted `#include "<path>"` resolves to. Project includes are
+/// rooted at src/, so "common/stats.h" -> "common" and "qcap.h" -> "qcap".
+std::string IncludedModule(const std::string& include_path);
+
+/// One module-level include edge, with the include that created it.
+struct IncludeEdge {
+  std::string from;  ///< Including file's module.
+  std::string to;    ///< Included header's module.
+  std::string file;  ///< Including file.
+  int line = 0;      ///< Line of the #include.
+  std::string include_path;  ///< The quoted include text.
+};
+
+/// Extracts every cross-module include edge (self-edges and files outside
+/// the module universe are dropped).
+std::vector<IncludeEdge> ModuleEdges(const std::vector<ProjectFile>& files);
+
+/// Cross-TU findings, suppression-filtered per file exactly like
+/// LintContent's (same allow()/allow-file() directives).
+struct ProjectResult {
+  std::vector<Finding> findings;
+  std::vector<Finding> suppressed;
+};
+
+/// Runs the three cross-TU rules over the whole file set. Pass an unloaded
+/// LayerConfig (loaded == false) to skip the layer pass (e.g. linting a
+/// stray file with no `.qcap-layers` in scope).
+ProjectResult LintProject(const std::vector<ProjectFile>& files,
+                          const LayerConfig& layers);
+
+}  // namespace qcap_lint

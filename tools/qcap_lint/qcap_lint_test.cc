@@ -6,9 +6,17 @@
 //   <bad code>  // expect: <rule-id>
 // means "exactly one unsuppressed finding with that rule on this line", and
 //   // expect-file: <rule-id>
-// means "one finding with that rule anywhere in the file". The harness
+// means "one finding with that rule anywhere in the fixture". The harness
 // fails on missing AND on unexpected findings, so the fixtures pin both
 // positive and negative behavior.
+//
+// Cross-TU fixtures: a fixture can hold several virtual files —
+//   // qcap-lint-test: file=<path>
+// starts a new file (lines below it count from 1 in that file) — and a
+// layering DAG for the layer-violation rule:
+//   // qcap-lint-test: layer <module>: <dep>...
+// Each fixture is linted as its own little project: LintContent per file
+// plus one LintProject over all of them.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -17,9 +25,11 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "lint.h"
+#include "project.h"
 #include "token.h"
 
 namespace qcap_lint {
@@ -27,15 +37,26 @@ namespace {
 
 namespace fs = std::filesystem;
 
+struct Section {
+  std::string path;     // virtual path the linter sees
+  std::string content;  // lines of this virtual file
+};
+
 struct Fixture {
-  std::string file;          // on-disk name, for messages
-  std::string virtual_path;  // path the linter sees
-  std::string content;
-  std::multiset<std::pair<int, std::string>> expected;  // (line, rule)
-  std::multiset<std::string> expected_anywhere;         // expect-file rules
+  std::string file;  // on-disk name, for messages
+  std::vector<Section> sections;  // [0] is the primary (as=) file
+  std::string layer_text;         // accumulated `layer` directive lines
+  // (virtual path, line within that file, rule)
+  std::multiset<std::tuple<std::string, int, std::string>> expected;
+  std::multiset<std::string> expected_anywhere;  // expect-file rules
 };
 
 std::string TestdataDir() { return QCAP_LINT_TESTDATA; }
+
+std::string TrimTail(std::string s) {
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\r')) s.pop_back();
+  return s;
+}
 
 std::vector<Fixture> LoadFixtures() {
   std::vector<Fixture> fixtures;
@@ -47,25 +68,32 @@ std::vector<Fixture> LoadFixtures() {
   for (const fs::path& p : paths) {
     Fixture fx;
     fx.file = p.filename().string();
+    fx.sections.push_back({});
     std::ifstream in(p);
     std::ostringstream buf;
     buf << in.rdbuf();
-    fx.content = buf.str();
 
-    std::istringstream lines(fx.content);
+    std::istringstream lines(buf.str());
     std::string line;
-    int lineno = 0;
+    int lineno = 0;  // within the current section
     while (std::getline(lines, line)) {
-      ++lineno;
       const size_t as = line.find("qcap-lint-test: as=");
       if (as != std::string::npos) {
-        fx.virtual_path = line.substr(as + 19);
-        while (!fx.virtual_path.empty() &&
-               (fx.virtual_path.back() == ' ' ||
-                fx.virtual_path.back() == '\r')) {
-          fx.virtual_path.pop_back();
-        }
+        fx.sections.front().path = TrimTail(line.substr(as + 19));
       }
+      const size_t file_start = line.find("qcap-lint-test: file=");
+      if (file_start != std::string::npos) {
+        fx.sections.push_back({TrimTail(line.substr(file_start + 21)), ""});
+        lineno = 0;  // the marker line belongs to no section
+        continue;
+      }
+      const size_t layer = line.find("qcap-lint-test: layer ");
+      if (layer != std::string::npos) {
+        fx.layer_text += TrimTail(line.substr(layer + 22)) + "\n";
+      }
+      fx.sections.back().content += line + "\n";
+      ++lineno;
+
       auto parse_rules = [&](size_t pos, auto&& add) {
         std::string rest = line.substr(pos);
         std::istringstream split(rest);
@@ -85,27 +113,47 @@ std::vector<Fixture> LoadFixtures() {
       const size_t marker = line.find("// expect: ");
       if (marker != std::string::npos) {
         parse_rules(marker + 11, [&](std::string r) {
-          fx.expected.insert({lineno, r});
+          fx.expected.insert({fx.sections.back().path, lineno, r});
         });
       }
     }
-    EXPECT_FALSE(fx.virtual_path.empty())
+    EXPECT_FALSE(fx.sections.front().path.empty())
         << fx.file << ": missing '// qcap-lint-test: as=<path>' header";
     fixtures.push_back(std::move(fx));
   }
   return fixtures;
 }
 
+// All unsuppressed findings for one fixture: the per-file pass on every
+// virtual file plus one cross-TU pass over the whole set.
+std::vector<Finding> LintFixture(const Fixture& fx) {
+  std::vector<Finding> findings;
+  std::vector<ProjectFile> project;
+  for (const Section& s : fx.sections) {
+    for (Finding& f : LintContent(s.path, s.content).findings) {
+      findings.push_back(std::move(f));
+    }
+    project.push_back({s.path, s.content});
+  }
+  LayerConfig config;
+  if (!fx.layer_text.empty()) {
+    config = ParseLayerConfig("fixture-layers", fx.layer_text);
+  }
+  for (Finding& f : LintProject(project, config).findings) {
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
 TEST(QcapLintFixtures, EveryFixtureMatchesItsExpectations) {
   const std::vector<Fixture> fixtures = LoadFixtures();
-  ASSERT_GE(fixtures.size(), 10u) << "fixture corpus shrank";
+  ASSERT_GE(fixtures.size(), 24u) << "fixture corpus shrank";
   for (const Fixture& fx : fixtures) {
     SCOPED_TRACE(fx.file);
-    const FileResult result = LintContent(fx.virtual_path, fx.content);
     auto expected = fx.expected;
     auto anywhere = fx.expected_anywhere;
-    for (const Finding& f : result.findings) {
-      auto it = expected.find({f.line, f.rule});
+    for (const Finding& f : LintFixture(fx)) {
+      auto it = expected.find({f.file, f.line, f.rule});
       if (it != expected.end()) {
         expected.erase(it);
         continue;
@@ -115,12 +163,13 @@ TEST(QcapLintFixtures, EveryFixtureMatchesItsExpectations) {
         anywhere.erase(any);
         continue;
       }
-      ADD_FAILURE() << fx.file << ":" << f.line << ": unexpected finding ["
-                    << f.rule << "] " << f.message;
+      ADD_FAILURE() << fx.file << ": " << f.file << ":" << f.line
+                    << ": unexpected finding [" << f.rule << "] " << f.message;
     }
-    for (const auto& [line, rule] : expected) {
-      ADD_FAILURE() << fx.file << ":" << line << ": expected finding ["
-                    << rule << "] was not produced";
+    for (const auto& [path, line, rule] : expected) {
+      ADD_FAILURE() << fx.file << ": " << path << ":" << line
+                    << ": expected finding [" << rule
+                    << "] was not produced";
     }
     for (const std::string& rule : anywhere) {
       ADD_FAILURE() << fx.file << ": expected file-level finding [" << rule
@@ -132,12 +181,29 @@ TEST(QcapLintFixtures, EveryFixtureMatchesItsExpectations) {
 TEST(QcapLintFixtures, CorpusCoversEveryRule) {
   std::set<std::string> covered;
   for (const Fixture& fx : LoadFixtures()) {
-    for (const auto& [line, rule] : fx.expected) covered.insert(rule);
+    for (const auto& [path, line, rule] : fx.expected) covered.insert(rule);
     for (const std::string& rule : fx.expected_anywhere) covered.insert(rule);
   }
   for (const char* rule : kAllRules) {
     EXPECT_TRUE(covered.count(rule))
         << "no fixture exercises rule [" << rule << "]";
+  }
+}
+
+TEST(QcapLintFixtures, EachCrossTuRuleHasThreeFiringFixtures) {
+  std::map<std::string, std::set<std::string>> firing;  // rule -> fixtures
+  for (const Fixture& fx : LoadFixtures()) {
+    for (const auto& [path, line, rule] : fx.expected) {
+      firing[rule].insert(fx.file);
+    }
+    for (const std::string& rule : fx.expected_anywhere) {
+      firing[rule].insert(fx.file);
+    }
+  }
+  for (const char* rule : {"guarded-field-unlocked-access", "lock-order",
+                           "layer-violation"}) {
+    EXPECT_GE(firing[rule].size(), 3u)
+        << "rule [" << rule << "] needs >= 3 firing fixtures";
   }
 }
 
@@ -217,6 +283,92 @@ TEST(QcapLintRandomModule, RngWrapperIsExempt) {
       "}\n";
   EXPECT_TRUE(LintContent("src/common/random.cc", code).findings.empty());
   EXPECT_FALSE(LintContent("src/common/strings.cc", code).findings.empty());
+}
+
+TEST(QcapLintJson, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape("a\bb\fc"), "a\\bb\\fc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+}
+
+// The committed .qcap-layers, loaded the same way the CLI loads it.
+LayerConfig RepoLayers() {
+  const fs::path repo_root =
+      fs::path(TestdataDir()).parent_path().parent_path().parent_path();
+  const fs::path p = repo_root / ".qcap-layers";
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << p;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseLayerConfig(p.string(), buf.str());
+}
+
+// Acceptance pin: an alloc -> net include must fail the lint against the
+// real committed layering DAG, not just against a synthetic one.
+TEST(QcapLintSeeded, AllocIncludingNetViolatesCommittedLayers) {
+  const std::vector<ProjectFile> project = {
+      {"src/alloc/evil.cc",
+       "#include \"alloc/memetic.h\"\n#include \"net/frame.h\"\n"}};
+  const ProjectResult r = LintProject(project, RepoLayers());
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "layer-violation");
+  EXPECT_EQ(r.findings[0].line, 2);
+}
+
+// Acceptance pin: dropping the lock around a GUARDED_BY field is caught
+// even when the annotation (header) and the access (.cc) are separate TUs.
+TEST(QcapLintSeeded, GuardedFieldMissAcrossTusIsCaught) {
+  const std::vector<ProjectFile> project = {
+      {"src/net/thing.h",
+       "#pragma once\n"
+       "#include \"common/annotations.h\"\n"
+       "class Thing {\n"
+       " public:\n"
+       "  int Get() const;\n"
+       " private:\n"
+       "  mutable Mutex lock_;\n"
+       "  int value_ QCAP_GUARDED_BY(lock_) = 0;\n"
+       "};\n"},
+      {"src/net/thing.cc",
+       "#include \"net/thing.h\"\n"
+       "int Thing::Get() const { return value_; }\n"}};
+  const ProjectResult r = LintProject(project, LayerConfig{});
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "guarded-field-unlocked-access");
+  EXPECT_EQ(r.findings[0].file, "src/net/thing.cc");
+  EXPECT_EQ(r.findings[0].line, 2);
+}
+
+// Taking the lock (or declaring QCAP_REQUIRES) silences the rule — the
+// negative half of the seeded pin above.
+TEST(QcapLintSeeded, LockedAndRequiredAccessesAreClean) {
+  const std::vector<ProjectFile> project = {
+      {"src/net/thing.h",
+       "#pragma once\n"
+       "#include \"common/annotations.h\"\n"
+       "class Thing {\n"
+       " public:\n"
+       "  int Get() const;\n"
+       "  int GetLocked() const QCAP_REQUIRES(lock_);\n"
+       " private:\n"
+       "  mutable Mutex lock_;\n"
+       "  int value_ QCAP_GUARDED_BY(lock_) = 0;\n"
+       "};\n"},
+      {"src/net/thing.cc",
+       "#include \"net/thing.h\"\n"
+       "int Thing::Get() const {\n"
+       "  MutexLock guard(lock_);\n"
+       "  return value_;\n"
+       "}\n"
+       "int Thing::GetLocked() const { return value_; }\n"}};
+  const ProjectResult r = LintProject(project, LayerConfig{});
+  EXPECT_TRUE(r.findings.empty())
+      << r.findings[0].file << ":" << r.findings[0].line << ": "
+      << r.findings[0].message;
 }
 
 }  // namespace

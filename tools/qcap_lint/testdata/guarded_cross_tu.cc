@@ -1,0 +1,28 @@
+// qcap-lint-test: as=src/net/counter.h
+// Known-bad: the GUARDED_BY/REQUIRES annotations live in this header; the
+// unlocked access lives in the .cc below. Only the cross-TU pass can
+// connect the two — a per-file lint of either file sees nothing wrong.
+#pragma once
+#include "common/annotations.h"
+
+class Counter {
+ public:
+  void Increment();
+  int Peek() const;
+  int PeekLocked() const QCAP_REQUIRES(lock_);
+
+ private:
+  mutable Mutex lock_;
+  int count_ QCAP_GUARDED_BY(lock_) = 0;
+};
+// qcap-lint-test: file=src/net/counter.cc
+#include "net/counter.h"
+
+void Counter::Increment() {
+  MutexLock guard(lock_);
+  ++count_;
+}
+
+int Counter::Peek() const { return count_; }  // expect: guarded-field-unlocked-access
+
+int Counter::PeekLocked() const { return count_; }

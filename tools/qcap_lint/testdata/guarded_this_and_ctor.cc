@@ -1,0 +1,15 @@
+// qcap-lint-test: as=src/net/meter.h
+// Known-bad: a this-> qualified access is still a member access and still
+// needs the lock. Constructors are exempt (no concurrent observers yet).
+#pragma once
+#include "common/annotations.h"
+
+class Meter {
+ public:
+  Meter() { sum_ = 0; }
+  void Bump() { this->sum_ += 1; }  // expect: guarded-field-unlocked-access
+
+ private:
+  Mutex lock_;
+  long sum_ QCAP_GUARDED_BY(lock_) = 0;
+};

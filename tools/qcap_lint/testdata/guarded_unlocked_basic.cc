@@ -1,0 +1,19 @@
+// qcap-lint-test: as=src/net/gauge.h
+// Known-bad: QCAP_GUARDED_BY fields read and written in inline member
+// functions that neither take the lock nor declare QCAP_REQUIRES.
+#pragma once
+#include "common/annotations.h"
+
+class Gauge {
+ public:
+  void Add(int d) {
+    MutexLock guard(lock_);
+    total_ += d;
+  }
+  int total() const { return total_; }  // expect: guarded-field-unlocked-access
+  void Reset() { total_ = 0; }  // expect: guarded-field-unlocked-access
+
+ private:
+  mutable Mutex lock_;
+  int total_ QCAP_GUARDED_BY(lock_) = 0;
+};

@@ -1,0 +1,10 @@
+// qcap-lint-test: as=src/net/dispatcher_like.cc
+// qcap-lint-test: layer common:
+// qcap-lint-test: layer cluster: common
+// qcap-lint-test: layer net: cluster common
+// Clean: every edge is declared (net -> cluster, net -> common), sibling
+// includes are same-module, and system includes are never layer edges.
+#include <vector>
+#include "net/dispatcher_like.h"
+#include "cluster/scheduler.h"
+#include "common/strings.h"

@@ -1,0 +1,13 @@
+// qcap-lint-test: as=src/model/a.h
+// qcap-lint-test: layer model: workload
+// qcap-lint-test: layer workload: model
+// Known-bad: a layering cycle, visible twice — the declared graph itself
+// cycles (model <-> workload is not a DAG), and the actual include graph
+// realizes the cycle. Both reports are layer-violation findings.
+// expect-file: layer-violation
+// expect-file: layer-violation
+#pragma once
+#include "workload/b.h"
+// qcap-lint-test: file=src/workload/b.h
+#pragma once
+#include "model/a.h"

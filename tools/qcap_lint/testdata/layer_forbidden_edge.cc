@@ -1,0 +1,9 @@
+// qcap-lint-test: as=src/alloc/rogue.cc
+// qcap-lint-test: layer common:
+// qcap-lint-test: layer alloc: common
+// qcap-lint-test: layer cluster: common
+// qcap-lint-test: layer net: cluster common
+// Known-bad: the allocation layer reaches into the serving stack. The DAG
+// above allows alloc -> common only, so the net include is a violation.
+#include "common/strings.h"
+#include "net/frame.h"  // expect: layer-violation

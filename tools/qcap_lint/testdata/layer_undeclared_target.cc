@@ -1,0 +1,4 @@
+// qcap-lint-test: as=src/common/util.cc
+// qcap-lint-test: layer common:
+// Known-bad: the include pulls in a module the DAG has never heard of.
+#include "mystery/widget.h"  // expect: layer-violation

@@ -1,0 +1,30 @@
+// qcap-lint-test: as=src/net/ordered.h
+// Clean: every function takes the locks in the same global order, and a
+// nested scope releasing before re-acquiring is not an inversion.
+#pragma once
+#include "common/annotations.h"
+
+class Ordered {
+ public:
+  void Both() {
+    MutexLock f(first_);
+    MutexLock s(second_);
+    ++steps_;
+  }
+  void BothAgain() {
+    MutexLock f(first_);
+    MutexLock s(second_);
+    ++steps_;
+  }
+  void OneThenOther() {
+    {
+      MutexLock f(first_);
+    }
+    MutexLock s(second_);
+  }
+
+ private:
+  Mutex first_;
+  Mutex second_;
+  int steps_ QCAP_GUARDED_BY(first_) = 0;
+};

@@ -1,0 +1,22 @@
+// qcap-lint-test: as=src/net/swapper.h
+// Known-bad: two functions take the same pair of locks in opposite
+// orders — the classic AB/BA deadlock. The report anchors at the
+// acquisition that closes the cycle.
+#pragma once
+#include "common/annotations.h"
+
+class Swapper {
+ public:
+  void Forward() {
+    MutexLock a(a_);
+    MutexLock b(b_);
+  }
+  void Backward() {
+    MutexLock b(b_);
+    MutexLock a(a_);  // expect: lock-order
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};

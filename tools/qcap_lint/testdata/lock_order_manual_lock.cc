@@ -1,0 +1,23 @@
+// qcap-lint-test: as=src/net/manual.h
+// Known-bad: manual lock()/unlock() calls feed the same acquisition graph
+// as RAII scopes, so a manual inversion is caught too.
+#pragma once
+#include "common/annotations.h"
+
+class Manual {
+ public:
+  void Fill() {
+    gate_.lock();
+    MutexLock guard(inner_);
+    gate_.unlock();
+  }
+  void Drain() {
+    MutexLock guard(inner_);
+    gate_.lock();  // expect: lock-order
+    gate_.unlock();
+  }
+
+ private:
+  Mutex gate_;
+  Mutex inner_;
+};

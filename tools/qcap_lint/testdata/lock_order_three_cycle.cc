@@ -1,0 +1,17 @@
+// qcap-lint-test: as=src/net/trio.h
+// Known-bad: no single pair inverts, but the three pairwise orders chain
+// into a cycle a -> b -> c -> a. Only the global acquisition graph sees it.
+#pragma once
+#include "common/annotations.h"
+
+class Trio {
+ public:
+  void AB() { MutexLock x(a_); MutexLock y(b_); }
+  void BC() { MutexLock x(b_); MutexLock y(c_); }
+  void CA() { MutexLock x(c_); MutexLock y(a_); }  // expect: lock-order
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  Mutex c_;
+};
